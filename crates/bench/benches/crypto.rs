@@ -1,0 +1,77 @@
+//! Criterion: real throughput of the from-scratch crypto primitives
+//! (these numbers are wall-clock, not simulated — they justify the
+//! "functional plane" being usable in tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hix_crypto::drbg::HmacDrbg;
+use hix_crypto::ocb::{Key, Nonce, Ocb};
+use hix_crypto::{aes::Aes128, sha256};
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    c.bench_function("aes128/encrypt_block", |b| {
+        let mut block = [0x5au8; 16];
+        b.iter(|| {
+            block = aes.encrypt_block(block);
+            block
+        })
+    });
+}
+
+fn bench_ocb_seal(c: &mut Criterion) {
+    let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
+    let mut group = c.benchmark_group("ocb/seal");
+    for kib in [4u64, 64, 1024] {
+        let data = vec![0xabu8; (kib * 1024) as usize];
+        group.throughput(Throughput::Bytes(kib * 1024));
+        group.bench_with_input(BenchmarkId::from_parameter(kib), &data, |b, data| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                ocb.seal(&Nonce::from_counter(counter), b"aad", data)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ocb_open(c: &mut Criterion) {
+    let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
+    let data = vec![0xabu8; 64 * 1024];
+    let sealed = ocb.seal(&Nonce::from_counter(1), b"aad", &data);
+    c.bench_function("ocb/open/64KiB", |b| {
+        b.iter(|| ocb.open(&Nonce::from_counter(1), b"aad", &sealed).unwrap())
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0x11u8; 64 * 1024];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("64KiB", |b| b.iter(|| sha256::digest(&data)));
+    group.finish();
+}
+
+fn bench_dh_handshake(c: &mut Criterion) {
+    use hix_crypto::dh::DhGroup;
+    let group = DhGroup::sim();
+    c.bench_function("dh/sim-group-agreement", |b| {
+        let mut rng_a = HmacDrbg::new(b"a");
+        let mut rng_b = HmacDrbg::new(b"b");
+        b.iter(|| {
+            let a = group.generate(&mut rng_a);
+            let bk = group.generate(&mut rng_b);
+            group.agree(&a, &bk.public).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aes_block,
+    bench_ocb_seal,
+    bench_ocb_open,
+    bench_sha256,
+    bench_dh_handshake
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 7: Rodinia single-user execution time on Gdev vs HIX.
+//!
+//! Paper shape to reproduce: +26.8% average; transfer-heavy apps suffer
+//! most (BP +81.5%, NW +70.1%, PF +154%); GS is near parity; the short
+//! apps (HS, LUD, NN) run *faster* under HIX thanks to the cheaper task
+//! initialization.
+
+use hix_bench::{measure_both, print_rows, FigureRow};
+use hix_workloads::rodinia_suite;
+
+fn main() {
+    let model = hix_sim::CostModel::paper();
+    let mut rows: Vec<FigureRow> = Vec::new();
+    for workload in rodinia_suite() {
+        let label = workload.profile(&model).abbrev;
+        rows.push(measure_both(workload.as_ref(), label));
+    }
+    print_rows(
+        "Figure 7: Rodinia single-user execution time",
+        &rows,
+        "paper: avg +26.8%; BP +81.5% NW +70.1% PF +154%; GS ~parity; HS/LUD/NN faster under HIX",
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 8: Rodinia execution time with two concurrent users,
+//! normalized to single-user Gdev.
+//!
+//! Paper shape: HIX parallel execution is ~45.2% worse than Gdev
+//! parallel execution at two users (crypto kernels + extra context
+//! switches + underutilization), yet still better than serializing the
+//! users.
+
+fn main() {
+    hix_bench::print_multiuser(2, 1.452);
+}

@@ -1,0 +1,10 @@
+//! Figure 9: Rodinia execution time with four concurrent users,
+//! normalized to single-user Gdev.
+//!
+//! Paper shape: HIX parallel execution is ~39.7% worse than Gdev
+//! parallel execution at four users (the relative cost of crypto
+//! kernels and switches amortizes slightly better than at two).
+
+fn main() {
+    hix_bench::print_multiuser(4, 1.397);
+}

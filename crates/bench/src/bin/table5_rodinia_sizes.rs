@@ -1,0 +1,52 @@
+//! Table 5: the Rodinia applications with their memcpy volumes and
+//! problem sizes, regenerated from the workload profiles.
+
+use hix_sim::CostModel;
+use hix_workloads::rodinia_suite;
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2}MB", bytes as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.2}KB", bytes as f64 / 1024.0)
+    }
+}
+
+fn main() {
+    let model = CostModel::paper();
+    println!("== Table 5: Rodinia benchmark applications ==\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>14} {:>9} {:>12}",
+        "App", "HtoD", "DtoH", "problem size", "launches", "GPU compute"
+    );
+    // The paper's Table 5 values, for the assertion.
+    let paper: &[(&str, f64, f64)] = &[
+        ("BP", 117.0, 42.75),
+        ("BFS", 45.78, 3.81),
+        ("GS", 32.00, 32.00),
+        ("HS", 8.00, 4.00),
+        ("LUD", 16.00, 16.00),
+        ("NW", 128.1, 64.03),
+        ("NN", 334.1 / 1024.0, 167.05 / 1024.0),
+        ("PF", 256.0, 32.0 / 1024.0),
+        ("SRAD", 24.23, 24.19),
+    ];
+    for (w, &(abbrev, h_mb, d_mb)) in rodinia_suite().iter().zip(paper.iter()) {
+        let p = w.profile(&model);
+        assert_eq!(p.abbrev, abbrev);
+        let h = (h_mb * (1u64 << 20) as f64).round() as u64;
+        let d = (d_mb * (1u64 << 20) as f64).round() as u64;
+        assert_eq!(p.htod, h, "{abbrev} HtoD");
+        assert_eq!(p.dtoh, d, "{abbrev} DtoH");
+        println!(
+            "{:<28} {:>12} {:>12} {:>14} {:>9} {:>12}",
+            format!("{} ({})", w.name(), p.abbrev),
+            human(p.htod),
+            human(p.dtoh),
+            w.paper_size(),
+            p.launches,
+            p.kernel_time.to_string(),
+        );
+    }
+    println!("\nall transfer volumes match the paper's Table 5 exactly");
+}

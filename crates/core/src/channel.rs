@@ -1,0 +1,399 @@
+//! The inter-enclave communication channel (§4.4.1).
+//!
+//! Two untrusted media: a *message queue* (modeled as sequence-number
+//! doorbells in the shared page — the paper uses a POSIX message queue
+//! purely for synchronization) and *shared memory* for the encrypted
+//! payloads. Everything crossing the channel is OCB-AES sealed with the
+//! pairwise session key; nonces are message sequence numbers, which gives
+//! replay protection (§5.5: "an incrementing nonce is also used to ensure
+//! freshness ... and to prevent replay attacks").
+//!
+//! Layout of the shared buffer:
+//!
+//! ```text
+//! 0x0000  req_seq   (u64)   user increments after staging a request
+//! 0x0008  resp_seq  (u64)   GPU enclave increments after responding
+//! 0x0010  req_len   (u64)
+//! 0x0018  resp_len  (u64)
+//! 0x0100  request ciphertext
+//! 0x1100  response ciphertext
+//! 0x4000  bulk data area (sealed payload chunks)
+//! ```
+
+use hix_crypto::ocb::{Nonce, Ocb, TAG_LEN};
+use hix_driver::DmaBuffer;
+use hix_platform::mmu::AccessFault;
+use hix_platform::{Machine, ProcessId};
+
+/// Offsets within the shared channel buffer.
+mod layout {
+    pub const REQ_SEQ: u64 = 0x0000;
+    pub const RESP_SEQ: u64 = 0x0008;
+    pub const REQ_LEN: u64 = 0x0010;
+    pub const RESP_LEN: u64 = 0x0018;
+    pub const NOTICE: u64 = 0x0020;
+    pub const REQ_BODY: u64 = 0x0100;
+    pub const RESP_BODY: u64 = 0x1100;
+    pub const BULK: u64 = 0x4000;
+    pub const MAX_BODY: u64 = 0x1000;
+}
+
+/// Value of the termination notice (§4.2.3: "user enclaves are notified
+/// that the GPU enclave is terminated and the GPU is no longer
+/// trusted"). The notice is an *availability* signal in untrusted
+/// memory: suppressing it only delays the user noticing; forging it is a
+/// denial of service, both outside the threat model.
+pub const NOTICE_TERMINATED: u64 = 0x5445_524d; // "TERM"
+
+/// Offset of the bulk data area (sealed payload chunks live here).
+pub const BULK_OFFSET: u64 = layout::BULK;
+
+/// Channel failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Underlying memory access failed.
+    Access(AccessFault),
+    /// Decryption/authentication failed — tampering or replay.
+    Tampered,
+    /// No message was pending.
+    Empty,
+    /// The message could not be parsed after decryption.
+    Malformed,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::Access(e) => write!(f, "channel access failed: {e}"),
+            ChannelError::Tampered => f.write_str("channel message failed authentication"),
+            ChannelError::Empty => f.write_str("no pending message"),
+            ChannelError::Malformed => f.write_str("malformed channel message"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl From<AccessFault> for ChannelError {
+    fn from(e: AccessFault) -> Self {
+        ChannelError::Access(e)
+    }
+}
+
+/// One endpoint's view of the channel. Both the user enclave and the GPU
+/// enclave hold an `Endpoint` over the same [`DmaBuffer`], each acting as
+/// its own process.
+pub struct Endpoint {
+    pid: ProcessId,
+    buffer: DmaBuffer,
+    ocb: Ocb,
+    /// Sequence of the last request this side observed/issued.
+    req_seq: u64,
+    /// Sequence of the last response this side observed/issued.
+    resp_seq: u64,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("pid", &self.pid)
+            .field("req_seq", &self.req_seq)
+            .field("resp_seq", &self.resp_seq)
+            .finish()
+    }
+}
+
+// Nonce spaces: requests use even counters, responses odd; bulk data uses
+// a separate key entirely (the three-party key), so no overlap there.
+fn req_nonce(seq: u64) -> Nonce {
+    Nonce::from_counter(seq * 2)
+}
+
+fn resp_nonce(seq: u64) -> Nonce {
+    Nonce::from_counter(seq * 2 + 1)
+}
+
+impl Endpoint {
+    /// Creates an endpoint for `pid` over `buffer`, keyed with the
+    /// pairwise session key from attestation.
+    pub fn new(pid: ProcessId, buffer: DmaBuffer, key: [u8; 16]) -> Self {
+        Endpoint {
+            pid,
+            buffer,
+            ocb: Ocb::new(&hix_crypto::ocb::Key::from_bytes(key)),
+            req_seq: 0,
+            resp_seq: 0,
+        }
+    }
+
+    /// The shared buffer (for bulk-area access).
+    pub fn buffer(&self) -> &DmaBuffer {
+        &self.buffer
+    }
+
+    /// The endpoint's process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn read_u64(&self, machine: &mut Machine, off: u64) -> Result<u64, ChannelError> {
+        let bytes = self.buffer.read(machine, self.pid, off, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn write_u64(&self, machine: &mut Machine, off: u64, v: u64) -> Result<(), ChannelError> {
+        self.buffer
+            .write(machine, self.pid, off, &v.to_le_bytes().to_vec().into())?;
+        Ok(())
+    }
+
+    /// Sends a request (user side): seal, stage, bump the doorbell.
+    /// Charges one IPC hop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access faults; panics if the message exceeds the body
+    /// area.
+    pub fn send_request(&mut self, machine: &mut Machine, body: &[u8]) -> Result<(), ChannelError> {
+        self.req_seq += 1;
+        let sealed = self.ocb.seal(&req_nonce(self.req_seq), b"hix-req", body);
+        assert!(sealed.len() as u64 <= layout::MAX_BODY, "request too large");
+        machine.clock().advance(machine.model().ipc_roundtrip / 2);
+        self.buffer
+            .write(machine, self.pid, layout::REQ_BODY, &sealed.clone().into())?;
+        self.write_u64(machine, layout::REQ_LEN, sealed.len() as u64)?;
+        self.write_u64(machine, layout::REQ_SEQ, self.req_seq)?;
+        Ok(())
+    }
+
+    /// Receives a pending request (GPU-enclave side).
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Empty`] when no new request is staged;
+    /// [`ChannelError::Tampered`] when authentication fails.
+    pub fn recv_request(&mut self, machine: &mut Machine) -> Result<Vec<u8>, ChannelError> {
+        let seq = self.read_u64(machine, layout::REQ_SEQ)?;
+        if seq <= self.req_seq {
+            return Err(ChannelError::Empty);
+        }
+        // Sequence numbers must advance one at a time; a gap means the
+        // adversary dropped or reordered messages.
+        let expect = self.req_seq + 1;
+        if seq != expect {
+            return Err(ChannelError::Tampered);
+        }
+        let len = self.read_u64(machine, layout::REQ_LEN)?;
+        if len > layout::MAX_BODY {
+            return Err(ChannelError::Malformed);
+        }
+        let sealed = self.buffer.read(machine, self.pid, layout::REQ_BODY, len)?;
+        let body = self
+            .ocb
+            .open(&req_nonce(expect), b"hix-req", &sealed)
+            .map_err(|_| ChannelError::Tampered)?;
+        self.req_seq = expect;
+        Ok(body)
+    }
+
+    /// Sends a response (GPU-enclave side).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access faults.
+    pub fn send_response(&mut self, machine: &mut Machine, body: &[u8]) -> Result<(), ChannelError> {
+        self.resp_seq += 1;
+        let sealed = self.ocb.seal(&resp_nonce(self.resp_seq), b"hix-resp", body);
+        assert!(sealed.len() as u64 <= layout::MAX_BODY, "response too large");
+        machine.clock().advance(machine.model().ipc_roundtrip / 2);
+        self.buffer
+            .write(machine, self.pid, layout::RESP_BODY, &sealed.clone().into())?;
+        self.write_u64(machine, layout::RESP_LEN, sealed.len() as u64)?;
+        self.write_u64(machine, layout::RESP_SEQ, self.resp_seq)?;
+        Ok(())
+    }
+
+    /// Receives the pending response (user side).
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Empty`] / [`ChannelError::Tampered`] as for
+    /// requests.
+    pub fn recv_response(&mut self, machine: &mut Machine) -> Result<Vec<u8>, ChannelError> {
+        let seq = self.read_u64(machine, layout::RESP_SEQ)?;
+        if seq <= self.resp_seq {
+            return Err(ChannelError::Empty);
+        }
+        let expect = self.resp_seq + 1;
+        if seq != expect {
+            return Err(ChannelError::Tampered);
+        }
+        let len = self.read_u64(machine, layout::RESP_LEN)?;
+        if len > layout::MAX_BODY {
+            return Err(ChannelError::Malformed);
+        }
+        let sealed = self.buffer.read(machine, self.pid, layout::RESP_BODY, len)?;
+        let body = self
+            .ocb
+            .open(&resp_nonce(expect), b"hix-resp", &sealed)
+            .map_err(|_| ChannelError::Tampered)?;
+        self.resp_seq = expect;
+        Ok(body)
+    }
+
+    /// Capacity of the bulk data area.
+    pub fn bulk_capacity(&self) -> u64 {
+        self.buffer.len().saturating_sub(layout::BULK)
+    }
+
+    /// Posts the termination notice (GPU-enclave side, §4.2.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access faults.
+    pub fn post_termination_notice(&self, machine: &mut Machine) -> Result<(), ChannelError> {
+        self.write_u64(machine, layout::NOTICE, NOTICE_TERMINATED)
+    }
+
+    /// Whether the peer posted the termination notice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access faults.
+    pub fn termination_noticed(&self, machine: &mut Machine) -> Result<bool, ChannelError> {
+        Ok(self.read_u64(machine, layout::NOTICE)? == NOTICE_TERMINATED)
+    }
+}
+
+/// Sealed-chunk geometry of the bulk stream: returns the total sealed
+/// length of `plain_len` bytes chunked at `chunk`.
+pub fn sealed_stream_len(plain_len: u64, chunk: u64) -> u64 {
+    if plain_len == 0 {
+        return 0;
+    }
+    let chunks = plain_len.div_ceil(chunk);
+    plain_len + chunks * TAG_LEN as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hix_driver::rig::{standard_rig, RigOptions};
+
+    fn pair() -> (Machine, Endpoint, Endpoint) {
+        let mut m = standard_rig(RigOptions::default());
+        let user = m.create_process();
+        let encl = m.create_process();
+        let buffer = DmaBuffer::alloc(&mut m, user, 1 << 20);
+        buffer.share_with(&mut m, encl);
+        let key = [0x42u8; 16];
+        let a = Endpoint::new(user, buffer.clone(), key);
+        let b = Endpoint::new(encl, buffer, key);
+        (m, a, b)
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let (mut m, mut user, mut encl) = pair();
+        assert_eq!(encl.recv_request(&mut m), Err(ChannelError::Empty));
+        user.send_request(&mut m, b"hello enclave").unwrap();
+        assert_eq!(encl.recv_request(&mut m).unwrap(), b"hello enclave");
+        // Re-reading the same message is Empty (seq consumed).
+        assert_eq!(encl.recv_request(&mut m), Err(ChannelError::Empty));
+        encl.send_response(&mut m, b"hi user").unwrap();
+        assert_eq!(user.recv_response(&mut m).unwrap(), b"hi user");
+        // Multiple rounds keep working.
+        user.send_request(&mut m, b"second").unwrap();
+        assert_eq!(encl.recv_request(&mut m).unwrap(), b"second");
+    }
+
+    #[test]
+    fn os_sees_only_ciphertext() {
+        let (mut m, mut user, _encl) = pair();
+        user.send_request(&mut m, b"SECRET-REQUEST").unwrap();
+        // The adversary dumps the whole shared buffer physically.
+        let bus = user.buffer().bus();
+        let mut dump = vec![0u8; 0x2000];
+        let pa = m.iommu_mut().translate(bus).unwrap();
+        m.os_read_phys(pa, &mut dump);
+        let needle = b"SECRET-REQUEST";
+        assert!(
+            !dump.windows(needle.len()).any(|w| w == needle),
+            "plaintext leaked into shared memory"
+        );
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let (mut m, mut user, mut encl) = pair();
+        user.send_request(&mut m, b"payload").unwrap();
+        // Adversary flips a ciphertext byte via physical access.
+        let pa = m.iommu_mut().translate(user.buffer().bus()).unwrap();
+        let mut byte = [0u8; 1];
+        m.os_read_phys(pa.offset(layout::REQ_BODY), &mut byte);
+        m.os_write_phys(pa.offset(layout::REQ_BODY), &[byte[0] ^ 1]);
+        assert_eq!(encl.recv_request(&mut m), Err(ChannelError::Tampered));
+    }
+
+    #[test]
+    fn replay_detected() {
+        let (mut m, mut user, mut encl) = pair();
+        user.send_request(&mut m, b"one").unwrap();
+        // Adversary snapshots the staged message.
+        let pa = m.iommu_mut().translate(user.buffer().bus()).unwrap();
+        let mut snapshot = vec![0u8; 0x200];
+        m.os_read_phys(pa, &mut snapshot);
+        assert_eq!(encl.recv_request(&mut m).unwrap(), b"one");
+        user.send_request(&mut m, b"two").unwrap();
+        // Adversary replays the old message over the new one.
+        m.os_write_phys(pa, &snapshot);
+        let err = encl.recv_request(&mut m);
+        assert!(
+            matches!(err, Err(ChannelError::Tampered) | Err(ChannelError::Empty)),
+            "replay must not be accepted: {err:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut m = standard_rig(RigOptions::default());
+        let user = m.create_process();
+        let encl = m.create_process();
+        let buffer = DmaBuffer::alloc(&mut m, user, 1 << 20);
+        buffer.share_with(&mut m, encl);
+        let mut a = Endpoint::new(user, buffer.clone(), [1u8; 16]);
+        let mut b = Endpoint::new(encl, buffer, [2u8; 16]);
+        a.send_request(&mut m, b"x").unwrap();
+        assert_eq!(b.recv_request(&mut m), Err(ChannelError::Tampered));
+    }
+
+    #[test]
+    #[should_panic(expected = "request too large")]
+    fn oversized_request_is_a_programming_error() {
+        let (mut m, mut user, _encl) = pair();
+        let huge = vec![0u8; 0x2000];
+        let _ = user.send_request(&mut m, &huge);
+    }
+
+    #[test]
+    fn termination_notice_roundtrip() {
+        let (mut m, user, encl) = pair();
+        assert!(!user.termination_noticed(&mut m).unwrap());
+        encl.post_termination_notice(&mut m).unwrap();
+        assert!(user.termination_noticed(&mut m).unwrap());
+    }
+
+    #[test]
+    fn bulk_capacity_accounts_for_header() {
+        let (_m, user, _encl) = pair();
+        assert_eq!(user.bulk_capacity(), (1 << 20) - BULK_OFFSET);
+    }
+
+    #[test]
+    fn sealed_stream_geometry() {
+        assert_eq!(sealed_stream_len(0, 4096), 0);
+        assert_eq!(sealed_stream_len(1, 4096), 1 + 16);
+        assert_eq!(sealed_stream_len(4096, 4096), 4096 + 16);
+        assert_eq!(sealed_stream_len(4097, 4096), 4097 + 32);
+    }
+}

@@ -1,0 +1,812 @@
+//! The GPU enclave: the relocated driver and the service loop (§4.2).
+
+use std::collections::BTreeMap;
+
+use hix_crypto::drbg::HmacDrbg;
+use hix_crypto::sha256;
+use hix_driver::driver::{DriverError, GpuDriver};
+use hix_driver::DmaBuffer;
+use hix_gpu::crypto_kernels::{DECRYPT_STREAM_KERNEL, ENCRYPT_KERNEL};
+use hix_gpu::ctx::CtxId;
+use hix_gpu::regs::errcode;
+use hix_gpu::vram::DevAddr;
+use hix_pcie::addr::Bdf;
+use hix_platform::hix::HixError;
+use hix_platform::mem::PAGE_SIZE;
+use hix_platform::mmu::AccessFault;
+use hix_platform::sgx::SgxError;
+use hix_platform::{Machine, ProcessId, VirtAddr};
+use hix_sim::cost::ExecMode;
+use hix_sim::{EventKind, Nanos};
+
+use crate::attest::{self, AttestError};
+use crate::channel::{sealed_stream_len, ChannelError, Endpoint, BULK_OFFSET};
+use crate::protocol::{Request, Response};
+
+/// Virtual base where the GPU enclave maps BAR0 through `EGADD`.
+const TRUSTED_BAR0_VA: VirtAddr = VirtAddr::new(0x7000_0000_0000);
+/// Virtual base for the BAR1 aperture window.
+const TRUSTED_BAR1_VA: VirtAddr = VirtAddr::new(0x7000_1000_0000);
+/// Pages of each BAR the enclave registers.
+const MMIO_PAGES: u64 = 16;
+/// ELRANGE base of the enclave's measured pages.
+const CODE_VA: VirtAddr = VirtAddr::new(0x10_0000);
+
+/// Errors from the HIX core layer.
+#[derive(Debug)]
+pub enum HixCoreError {
+    /// SGX failure while building or entering the enclave.
+    Sgx(SgxError),
+    /// HIX instruction failure (`EGCREATE`/`EGADD`).
+    Hix(HixError),
+    /// Driver/GPU failure.
+    Driver(DriverError),
+    /// Inter-enclave channel failure.
+    Channel(ChannelError),
+    /// Attestation / key agreement failure.
+    Attest(AttestError),
+    /// The GPU BIOS measurement did not match the expected digest
+    /// (§4.2.2 — a compromised GPU BIOS is refused).
+    BiosMismatch,
+    /// The peer violated the request protocol.
+    Protocol(String),
+    /// An in-GPU integrity check failed — the session is aborted
+    /// (Fig. 10 ⑤: DMA tampering detected).
+    IntegrityFailure,
+    /// Direct memory access fault.
+    Access(AccessFault),
+    /// The GPU service returned an application-level error.
+    Remote(String),
+}
+
+impl std::fmt::Display for HixCoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HixCoreError::Sgx(e) => write!(f, "SGX: {e}"),
+            HixCoreError::Hix(e) => write!(f, "HIX: {e}"),
+            HixCoreError::Driver(e) => write!(f, "driver: {e}"),
+            HixCoreError::Channel(e) => write!(f, "channel: {e}"),
+            HixCoreError::Attest(e) => write!(f, "attestation: {e}"),
+            HixCoreError::BiosMismatch => f.write_str("GPU BIOS measurement mismatch"),
+            HixCoreError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            HixCoreError::IntegrityFailure => f.write_str("in-GPU integrity check failed; session aborted"),
+            HixCoreError::Access(e) => write!(f, "access fault: {e}"),
+            HixCoreError::Remote(msg) => write!(f, "GPU service error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HixCoreError {}
+
+impl From<SgxError> for HixCoreError {
+    fn from(e: SgxError) -> Self {
+        HixCoreError::Sgx(e)
+    }
+}
+
+impl From<HixError> for HixCoreError {
+    fn from(e: HixError) -> Self {
+        HixCoreError::Hix(e)
+    }
+}
+
+impl From<DriverError> for HixCoreError {
+    fn from(e: DriverError) -> Self {
+        HixCoreError::Driver(e)
+    }
+}
+
+impl From<ChannelError> for HixCoreError {
+    fn from(e: ChannelError) -> Self {
+        HixCoreError::Channel(e)
+    }
+}
+
+impl From<AttestError> for HixCoreError {
+    fn from(e: AttestError) -> Self {
+        HixCoreError::Attest(e)
+    }
+}
+
+impl From<AccessFault> for HixCoreError {
+    fn from(e: AccessFault) -> Self {
+        HixCoreError::Access(e)
+    }
+}
+
+/// Options for [`GpuEnclave::launch`].
+#[derive(Debug, Clone)]
+pub struct GpuEnclaveOptions {
+    /// The GPU to own.
+    pub bdf: Bdf,
+    /// Expected SHA-256 of the GPU BIOS. `None` derives the digest of the
+    /// default simulated BIOS.
+    pub expected_bios: Option<[u8; 32]>,
+    /// Sealed trust state from a previous instance
+    /// ([`GpuEnclave::seal_trust_state`]); when present it supplies the
+    /// BIOS pin (and is integrity-checked), overriding `expected_bios`.
+    pub sealed_trust: Option<Vec<u8>>,
+    /// DRBG seed for the enclave's ephemeral secrets.
+    pub seed: Vec<u8>,
+}
+
+impl Default for GpuEnclaveOptions {
+    fn default() -> Self {
+        GpuEnclaveOptions {
+            bdf: hix_driver::rig::GPU_BDF,
+            expected_bios: None,
+            sealed_trust: None,
+            seed: b"hix-gpu-enclave".to_vec(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Session {
+    ctx: CtxId,
+    endpoint: Endpoint,
+    staging: DevAddr,
+    staging_len: u64,
+    user_pid: ProcessId,
+    aborted: bool,
+}
+
+/// One per-session id.
+pub type SessionId = u32;
+
+/// The GPU enclave.
+pub struct GpuEnclave {
+    pid: ProcessId,
+    bdf: Bdf,
+    driver: GpuDriver,
+    rng: HmacDrbg,
+    sessions: BTreeMap<SessionId, Session>,
+    next_session: SessionId,
+    bios_digest: [u8; 32],
+    path_digest: [u8; 32],
+}
+
+impl std::fmt::Debug for GpuEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuEnclave")
+            .field("pid", &self.pid)
+            .field("bdf", &self.bdf)
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+impl GpuEnclave {
+    /// Launches the GPU enclave: builds and enters the SGX enclave, takes
+    /// exclusive GPU ownership (`EGCREATE`, engaging the PCIe lockdown),
+    /// verifies the GPU BIOS, snapshots the routing path, resets the GPU,
+    /// registers the trusted MMIO (`EGADD`), and attaches the driver over
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SGX/HIX/driver failures; [`HixCoreError::BiosMismatch`]
+    /// if the BIOS digest is wrong (the GPU is released again in that
+    /// case).
+    pub fn launch(
+        machine: &mut Machine,
+        options: GpuEnclaveOptions,
+    ) -> Result<GpuEnclave, HixCoreError> {
+        let pid = machine.create_process();
+        machine.ecreate(pid);
+        // Measured "driver code" pages — deterministic so MRENCLAVE is
+        // reproducible across runs (what remote attestation would pin).
+        for (i, chunk) in GPU_ENCLAVE_CODE_IDENTITY.chunks(64).enumerate() {
+            machine.eadd(pid, CODE_VA.offset(i as u64 * PAGE_SIZE), chunk, true)?;
+        }
+        machine.einit(pid)?;
+        machine.eenter(pid)?;
+
+        // Exclusive ownership + MMIO lockdown.
+        machine.egcreate(pid, options.bdf)?;
+
+        // §4.2.2: measure the GPU BIOS before trusting the device.
+        let rom = machine
+            .fabric()
+            .read_expansion_rom(options.bdf, 0, 64 << 10)
+            .map_err(|_| HixCoreError::BiosMismatch)?;
+        let bios_digest = sha256::digest(&rom);
+        let expected: [u8; 32] = if let Some(blob) = &options.sealed_trust {
+            // Unseal a previous instance's pin — only a same-identity
+            // enclave on this machine holds the seal key, so a tampered
+            // or foreign blob fails authentication. On failure the GPU is
+            // released again (no trust was extended).
+            let unsealed = (|| {
+                let key = machine.eseal_key(pid)?;
+                let ocb = hix_crypto::ocb::Ocb::new(&hix_crypto::ocb::Key::from_bytes(
+                    hix_crypto::kdf::derive_aes128(b"hix-seal", &key, b"trust-state"),
+                ));
+                let state = ocb
+                    .open(&hix_crypto::ocb::Nonce::from_counter(0), b"hix-trust", blob)
+                    .map_err(|_| {
+                        HixCoreError::Protocol("sealed trust state failed authentication".into())
+                    })?;
+                if state.len() != 64 {
+                    return Err(HixCoreError::Protocol("malformed sealed trust state".into()));
+                }
+                Ok(state[..32].try_into().expect("32 bytes"))
+            })();
+            match unsealed {
+                Ok(pin) => pin,
+                Err(e) => {
+                    machine.hix_release(pid)?;
+                    return Err(e);
+                }
+            }
+        } else {
+            options.expected_bios.unwrap_or_else(|| {
+                sha256::digest(&hix_gpu::device::build_bios(
+                    hix_gpu::device::GpuConfig::default().seed,
+                ))
+            })
+        };
+        if bios_digest != expected {
+            // Refuse the device and hand it back.
+            machine.hix_release(pid)?;
+            return Err(HixCoreError::BiosMismatch);
+        }
+
+        // §4.3.2: the routing-path configuration becomes part of the
+        // enclave's measured state.
+        let snapshot = machine
+            .fabric()
+            .path_routing_snapshot(options.bdf)
+            .expect("owned device");
+        let path_digest = sha256::digest(&snapshot);
+
+        // §4.2.2: reset to purge any pre-existing GPU state.
+        machine.fabric_mut().reset_device(options.bdf);
+        machine.trace().emit(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Security,
+            "GPU enclave initialized: BIOS verified, device reset",
+        );
+
+        // §4.2.1: register the trusted MMIO pages. BAR1 (the VRAM
+        // aperture for MMIO-path copies) is optional: secondary GPUs in a
+        // multi-GPU rig may expose registers only.
+        let bars = machine.device_bar_ranges(options.bdf);
+        let bar0 = bars[0].base;
+        for i in 0..MMIO_PAGES {
+            machine.egadd(pid, TRUSTED_BAR0_VA.offset(i * PAGE_SIZE), bar0.offset(i * PAGE_SIZE))?;
+        }
+        let bar1_va = if let Some(bar1) = bars.get(1).map(|r| r.base) {
+            for i in 0..MMIO_PAGES {
+                machine.egadd(pid, TRUSTED_BAR1_VA.offset(i * PAGE_SIZE), bar1.offset(i * PAGE_SIZE))?;
+            }
+            Some(TRUSTED_BAR1_VA)
+        } else {
+            None
+        };
+
+        let mut driver = GpuDriver::attach(
+            machine,
+            pid,
+            options.bdf,
+            TRUSTED_BAR0_VA,
+            bar1_va,
+        )?;
+        for name in [
+            hix_gpu::crypto_kernels::DECRYPT_KERNEL,
+            ENCRYPT_KERNEL,
+            DECRYPT_STREAM_KERNEL,
+        ] {
+            driver.load_module(machine, name)?;
+        }
+
+        Ok(GpuEnclave {
+            pid,
+            bdf: options.bdf,
+            driver,
+            rng: HmacDrbg::new(&options.seed),
+            sessions: BTreeMap::new(),
+            next_session: 1,
+            bios_digest,
+            path_digest,
+        })
+    }
+
+    /// The enclave's process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The owned GPU.
+    pub fn bdf(&self) -> Bdf {
+        self.bdf
+    }
+
+    /// The measured GPU BIOS digest.
+    pub fn bios_digest(&self) -> [u8; 32] {
+        self.bios_digest
+    }
+
+    /// The measured PCIe routing-path digest.
+    pub fn path_digest(&self) -> [u8; 32] {
+        self.path_digest
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Re-checks that the locked routing path still measures the same
+    /// (run anytime; a change means hardware misbehavior since lockdown
+    /// makes it impossible for software).
+    pub fn verify_path(&self, machine: &Machine) -> bool {
+        machine
+            .fabric()
+            .path_routing_snapshot(self.bdf)
+            .map(|snap| sha256::digest(&snap) == self.path_digest)
+            .unwrap_or(false)
+    }
+
+    /// Accepts a new user session (called by
+    /// [`HixSession::connect`](crate::runtime::HixSession::connect)):
+    /// runs local attestation + pairwise DH for the channel key, creates
+    /// the GPU context, and runs the three-party DH installing the data
+    /// key in the device.
+    ///
+    /// Returns the session id, the channel key (the user derives the same
+    /// value on its side of the DH — returned here since both ends of the
+    /// simulated exchange run in this function), and the user-side data
+    /// key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation and driver failures.
+    pub fn accept_session(
+        &mut self,
+        machine: &mut Machine,
+        user_pid: ProcessId,
+        user_rng: &mut HmacDrbg,
+        shared: DmaBuffer,
+    ) -> Result<(SessionId, [u8; 16], [u8; 16]), HixCoreError> {
+        let init = machine.model().task_init(ExecMode::Hix);
+        machine.clock().advance(init);
+        machine
+            .trace()
+            .emit(machine.clock().now(), init, EventKind::Init, "hix session init");
+
+        let channel_key =
+            attest::pairwise_channel_key(machine, user_pid, self.pid, user_rng, &mut self.rng)?;
+        let ctx = self.driver.create_ctx(machine)?;
+        let keys = attest::three_party_data_key(machine, &self.driver, ctx, user_rng, &mut self.rng)?;
+
+        // Session staging buffer in VRAM for the DtoH per-chunk path.
+        let chunk = machine.model().pipeline_chunk;
+        let staging_len = chunk + hix_crypto::ocb::TAG_LEN as u64;
+        let staging = self.driver.malloc(machine, ctx, staging_len)?;
+
+        let id = self.next_session;
+        self.next_session += 1;
+        shared.share_with(machine, self.pid);
+        let endpoint = Endpoint::new(self.pid, shared, channel_key);
+        self.sessions.insert(
+            id,
+            Session {
+                ctx,
+                endpoint,
+                staging,
+                staging_len,
+                user_pid,
+                aborted: false,
+            },
+        );
+        Ok((id, channel_key, keys.user))
+    }
+
+    /// Serves one pending request on `session` (the message-queue wakeup
+    /// of §4.4.1). Returns `Ok(true)` if a request was served.
+    ///
+    /// # Errors
+    ///
+    /// Channel tampering aborts with an error; GPU integrity failures
+    /// abort the session.
+    pub fn poll(&mut self, machine: &mut Machine, session: SessionId) -> Result<bool, HixCoreError> {
+        let Some(state) = self.sessions.get_mut(&session) else {
+            return Err(HixCoreError::Protocol(format!("unknown session {session}")));
+        };
+        if state.aborted {
+            return Err(HixCoreError::IntegrityFailure);
+        }
+        let body = match state.endpoint.recv_request(machine) {
+            Ok(body) => body,
+            Err(ChannelError::Empty) => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        let request = Request::decode(&body)
+            .ok_or_else(|| HixCoreError::Protocol("undecodable request".into()))?;
+        let closing = matches!(request, Request::Close);
+        let response = self.handle(machine, session, request)?;
+        let ok = matches!(response, Response::Ok);
+        let state = self.sessions.get_mut(&session).expect("session exists");
+        state.endpoint.send_response(machine, &response.encode())?;
+        if closing && ok {
+            self.sessions.remove(&session);
+        }
+        Ok(true)
+    }
+
+    fn handle(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+        request: Request,
+    ) -> Result<Response, HixCoreError> {
+        let state = self.sessions.get_mut(&session).expect("checked by poll");
+        let ctx = state.ctx;
+        let chunk_cfg = machine.model().pipeline_chunk;
+        let resp = match request {
+            Request::LoadModule { name } => match self.driver.load_module(machine, &name) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            },
+            Request::Malloc { len } => {
+                // Pad for the in-place sealed stream (one tag per chunk,
+                // §4.4.2 single-copy: the sealed bytes land in the same
+                // buffer the plaintext ends up in).
+                let padded = sealed_stream_len(len, chunk_cfg);
+                match self.driver.malloc(machine, ctx, padded.max(1)) {
+                    Ok(va) => Response::Addr(va),
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+            Request::Free { va } => match self.driver.free(machine, ctx, va, true) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            },
+            Request::MemcpyHtoD { dst, len, chunk, nonce_start } => {
+                let sealed_len = sealed_stream_len(len, chunk);
+                let buffer = state.endpoint.buffer().clone();
+                // Single copy: DMA the sealed stream straight into the
+                // destination buffer, then one in-GPU decrypt launch.
+                let copy = self
+                    .driver
+                    .dma_htod(machine, ctx, dst, &buffer, BULK_OFFSET, sealed_len)
+                    .and_then(|()| self.driver.sync(machine))
+                    .and_then(|()| {
+                        self.driver.launch(
+                            machine,
+                            ctx,
+                            DECRYPT_STREAM_KERNEL,
+                            &[dst.value(), len, chunk, nonce_start],
+                        )
+                    })
+                    .and_then(|()| self.driver.sync(machine));
+                match copy {
+                    Ok(()) => Response::Ok,
+                    Err(DriverError::Gpu(code)) if code == errcode::INTEGRITY => {
+                        self.sessions.get_mut(&session).expect("session").aborted = true;
+                        return Err(HixCoreError::IntegrityFailure);
+                    }
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+            Request::MemcpyDtoH { src, len, chunk, nonce_start } => {
+                let staging = state.staging;
+                let staging_len = state.staging_len;
+                let buffer = state.endpoint.buffer().clone();
+                if chunk + hix_crypto::ocb::TAG_LEN as u64 > staging_len {
+                    return Ok(Response::Err("chunk exceeds staging".into()));
+                }
+                let mut off = 0u64;
+                let mut index = 0u64;
+                let mut failure: Option<DriverError> = None;
+                while off < len {
+                    let this = chunk.min(len - off);
+                    let step = self
+                        .driver
+                        .launch(
+                            machine,
+                            ctx,
+                            ENCRYPT_KERNEL,
+                            &[src.value() + off, this, staging.value(), nonce_start + index],
+                        )
+                        .and_then(|()| {
+                            self.driver.dma_dtoh(
+                                machine,
+                                ctx,
+                                staging,
+                                &buffer,
+                                BULK_OFFSET + index * (chunk + hix_crypto::ocb::TAG_LEN as u64),
+                                this + hix_crypto::ocb::TAG_LEN as u64,
+                            )
+                        })
+                        .and_then(|()| self.driver.sync(machine));
+                    if let Err(e) = step {
+                        failure = Some(e);
+                        break;
+                    }
+                    off += this;
+                    index += 1;
+                }
+                match failure {
+                    None => Response::Ok,
+                    Some(e) => Response::Err(e.to_string()),
+                }
+            }
+            Request::Memset { va, len, value } => {
+                let run = self
+                    .driver
+                    .memset(machine, ctx, va, len, value)
+                    .and_then(|()| self.driver.sync(machine));
+                match run {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+            Request::CopyDtoD { src, dst, len } => {
+                let run = self
+                    .driver
+                    .copy_dtod(machine, ctx, src, dst, len)
+                    .and_then(|()| self.driver.sync(machine));
+                match run {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+            Request::Launch { name, args } => {
+                let run = self
+                    .driver
+                    .launch(machine, ctx, &name, &args)
+                    .and_then(|()| self.driver.sync(machine));
+                match run {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+            Request::Sync => match self.driver.sync(machine) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e.to_string()),
+            },
+            Request::Close => {
+                let staging = state.staging;
+                let _ = self.driver.free(machine, ctx, staging, true);
+                match self.driver.destroy_ctx(machine, ctx) {
+                    // The session entry itself is removed by `poll` after
+                    // the response has been sent.
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+        };
+        Ok(resp)
+    }
+
+    /// Graceful termination (§4.2.3): aborts all sessions, scrubs the GPU
+    /// by resetting it, clears ownership, and returns the GPU to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates release failures.
+    pub fn shutdown(mut self, machine: &mut Machine) -> Result<(), HixCoreError> {
+        let sessions: Vec<SessionId> = self.sessions.keys().copied().collect();
+        for id in sessions {
+            let state = self.sessions.remove(&id).expect("listed");
+            // §4.2.3: "user enclaves are notified that the GPU enclave is
+            // terminated and the GPU is no longer trusted".
+            let _ = state.endpoint.post_termination_notice(machine);
+            let _ = self.driver.destroy_ctx(machine, state.ctx);
+        }
+        machine.fabric_mut().reset_device(self.bdf);
+        machine.hix_release(self.pid)?;
+        machine.eexit(self.pid);
+        machine.trace().emit(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Security,
+            "GPU enclave graceful termination",
+        );
+        Ok(())
+    }
+
+    /// Seals the enclave's trust state (GPU BIOS pin ‖ routing-path
+    /// digest) to its own identity on this platform, so a restarted
+    /// instance can re-pin the same GPU without re-deriving trust
+    /// (`SGX EGETKEY(SealKey)` semantics). The blob lives in untrusted
+    /// storage; tampering is detected at unseal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SGX failures.
+    pub fn seal_trust_state(&self, machine: &mut Machine) -> Result<Vec<u8>, HixCoreError> {
+        let key = machine.eseal_key(self.pid)?;
+        let ocb = hix_crypto::ocb::Ocb::new(&hix_crypto::ocb::Key::from_bytes(
+            hix_crypto::kdf::derive_aes128(b"hix-seal", &key, b"trust-state"),
+        ));
+        let mut state = Vec::with_capacity(64);
+        state.extend_from_slice(&self.bios_digest);
+        state.extend_from_slice(&self.path_digest);
+        Ok(ocb.seal(&hix_crypto::ocb::Nonce::from_counter(0), b"hix-trust", &state))
+    }
+
+    /// Produces a remote-attestation quote over the enclave's identity
+    /// and what it measured (GPU BIOS digest ‖ PCIe path digest) —
+    /// §5.5's "the GPU enclave code cryptographically confirms its
+    /// provenance".
+    ///
+    /// # Errors
+    ///
+    /// Propagates SGX failures.
+    pub fn quote(&self, machine: &mut Machine) -> Result<hix_platform::sgx::Quote, HixCoreError> {
+        let mut data = Vec::with_capacity(64);
+        data.extend_from_slice(&self.bios_digest);
+        data.extend_from_slice(&self.path_digest);
+        Ok(machine.equote(self.pid, &data)?)
+    }
+
+    /// Direct driver access for privileged tests/benchmarks.
+    pub fn driver(&self) -> &GpuDriver {
+        &self.driver
+    }
+
+    /// The GPU context id of a session (diagnostics).
+    pub fn session_ctx(&self, session: SessionId) -> Option<CtxId> {
+        self.sessions.get(&session).map(|s| s.ctx)
+    }
+
+    /// The user process bound to a session (diagnostics).
+    pub fn session_user(&self, session: SessionId) -> Option<ProcessId> {
+        self.sessions.get(&session).map(|s| s.user_pid)
+    }
+}
+
+/// The MRENCLAVE a genuine GPU enclave build produces — what a remote
+/// verifier pins (replays the exact `ECREATE`/`EADD`/`EINIT` sequence of
+/// [`GpuEnclave::launch`] against a scratch SGX state; the measurement
+/// depends only on the code identity and layout, not on the machine).
+pub fn expected_measurement() -> hix_platform::sgx::Measurement {
+    let mut sgx = hix_platform::sgx::SgxState::new(b"measurement-replay");
+    let mut ram = hix_platform::mem::Ram::new();
+    let id = sgx.ecreate();
+    for (i, chunk) in GPU_ENCLAVE_CODE_IDENTITY.chunks(64).enumerate() {
+        sgx.eadd(&mut ram, id, CODE_VA.offset(i as u64 * PAGE_SIZE), chunk, true)
+            .expect("replay eadd");
+    }
+    sgx.einit(id).expect("replay einit")
+}
+
+/// The deterministic "code identity" measured into the GPU enclave. In a
+/// real deployment these bytes are the driver binary; remote attestation
+/// pins their hash (§5.5, code integrity).
+pub const GPU_ENCLAVE_CODE_IDENTITY: &[u8] =
+    b"HIX GPU enclave driver v1.0 | gdev-core | ocb-aes-128 | single-copy pipeline | \
+      multi-context isolation | scrub-on-free | bios-measurement | lockdown";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF, PORT_BDF};
+    use hix_pcie::config::offsets;
+    use hix_pcie::fabric::PcieError;
+
+    #[test]
+    fn launch_locks_down_and_owns_gpu() {
+        let mut m = standard_rig(RigOptions::default());
+        let enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        // Lockdown engaged: BAR rewrites are discarded.
+        assert_eq!(
+            m.config_write(GPU_BDF, offsets::BAR0, 0xdead_0000),
+            Err(PcieError::LockedDown(GPU_BDF))
+        );
+        assert_eq!(
+            m.config_write(PORT_BDF, offsets::MEMORY_WINDOW, 0),
+            Err(PcieError::LockedDown(PORT_BDF))
+        );
+        // GECS records ownership.
+        let gecs = m.hix_state().gecs(GPU_BDF).unwrap();
+        assert!(!gecs.owner_dead);
+        assert!(enclave.verify_path(&m));
+    }
+
+    #[test]
+    fn second_gpu_enclave_refused() {
+        let mut m = standard_rig(RigOptions::default());
+        let _first = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        let second = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default());
+        assert!(matches!(
+            second,
+            Err(HixCoreError::Hix(HixError::AlreadyOwned(_)))
+        ));
+    }
+
+    #[test]
+    fn bios_mismatch_refused_and_gpu_returned() {
+        let mut m = standard_rig(RigOptions::default());
+        let options = GpuEnclaveOptions {
+            expected_bios: Some([0u8; 32]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            GpuEnclave::launch(&mut m, options),
+            Err(HixCoreError::BiosMismatch)
+        ));
+        // The GPU was released: a correct enclave can own it afterwards.
+        let ok = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn graceful_shutdown_returns_gpu() {
+        let mut m = standard_rig(RigOptions::default());
+        let enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        enclave.shutdown(&mut m).unwrap();
+        assert!(m.hix_state().gecs(GPU_BDF).is_none());
+        // The OS can reprogram BARs again.
+        m.config_write(GPU_BDF, offsets::BAR0, 0xc000_0000).unwrap();
+        // And a new enclave can be launched.
+        GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn sealed_trust_state_roundtrips_and_rejects_tampering() {
+        let mut m = standard_rig(RigOptions::default());
+        let enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        let blob = enclave.seal_trust_state(&mut m).unwrap();
+        enclave.shutdown(&mut m).unwrap();
+        // Relaunch with the sealed pin: succeeds (same GPU, same BIOS).
+        let again = GpuEnclave::launch(
+            &mut m,
+            GpuEnclaveOptions {
+                sealed_trust: Some(blob.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        again.shutdown(&mut m).unwrap();
+        // Tampered blob: refused before any trust is extended.
+        let mut bad = blob;
+        bad[3] ^= 1;
+        let err = GpuEnclave::launch(
+            &mut m,
+            GpuEnclaveOptions {
+                sealed_trust: Some(bad),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(err, Err(HixCoreError::Protocol(_))), "{err:?}");
+        // The failed launch must not leave the GPU locked.
+        GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn remote_attestation_pins_the_gpu_enclave() {
+        let mut m = standard_rig(RigOptions::default());
+        let enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        let quote = enclave.quote(&mut m).unwrap();
+        let pk = m.provisioning_key();
+        assert!(quote.verify(&pk, &expected_measurement()));
+        // The quote binds the measured BIOS and routing path.
+        assert_eq!(&quote.report_data[..32], &enclave.bios_digest());
+        assert_eq!(&quote.report_data[32..], &enclave.path_digest());
+        // A different enclave (user-built) does not verify as the GPU
+        // enclave.
+        let user = m.create_process();
+        m.ecreate(user);
+        m.eadd(user, VirtAddr::new(0x10_0000), b"impostor", true).unwrap();
+        m.einit(user).unwrap();
+        let fake = m.equote(user, &quote.report_data).unwrap();
+        assert!(!fake.verify(&pk, &expected_measurement()));
+    }
+
+    #[test]
+    fn os_cannot_touch_trusted_mmio_after_launch() {
+        use hix_platform::mmu::AccessFault;
+        let mut m = standard_rig(RigOptions::default());
+        let _enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        // The OS maps the GPU registers into a process of its own...
+        let attacker = m.create_process();
+        let va = hix_driver::driver::os_map_bar0(&mut m, attacker, GPU_BDF, 1);
+        // ...and is denied at the TLB fill.
+        let err = m.read(attacker, va, &mut [0u8; 8]);
+        assert!(matches!(err, Err(AccessFault::TgmrDenied(_))));
+    }
+}

@@ -1,0 +1,48 @@
+//! # hix-core — Heterogeneous Isolated eXecution
+//!
+//! The paper's primary contribution, built on the simulated platform:
+//!
+//! * [`gpu_enclave`] — the **GPU enclave**: the Gdev driver relocated into
+//!   an SGX enclave that exclusively owns the GPU (`EGCREATE`/`EGADD`),
+//!   measures the GPU BIOS and the PCIe routing path, resets the device,
+//!   and serves user enclaves (§4.2).
+//! * [`channel`] — the untrusted inter-enclave transport: shared memory
+//!   for encrypted payloads plus sequence-number doorbells, secured with
+//!   OCB-AES and counter nonces (§4.4.1).
+//! * [`attest`] — SGX local attestation between user and GPU enclaves and
+//!   the three-party Diffie–Hellman that includes the GPU itself.
+//! * [`protocol`] — the request/response vocabulary (the CUDA-driver-API
+//!   shaped commands users send).
+//! * [`runtime`] — the **trusted user runtime library**
+//!   ([`HixSession`]): `hixMemAlloc`, `hixMemcpyHtoD/DtoH` (single-copy,
+//!   pipelined, §4.4.2), `hixLaunchKernel`, `hixSync` — same shape as the
+//!   CUDA driver API, as the paper promises.
+//! * [`multiuser`] — the multi-context scheduler model behind Figures 8
+//!   and 9.
+//!
+//! ```no_run
+//! use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+//! use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
+//! use hix_sim::Payload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = standard_rig(RigOptions::default());
+//! let mut enclave = GpuEnclave::launch(&mut machine, GpuEnclaveOptions::default())?;
+//! let mut session = HixSession::connect(&mut machine, &mut enclave)?;
+//! let buf = session.malloc(&mut machine, &mut enclave, 4096)?;
+//! session.memcpy_htod(&mut machine, &mut enclave, buf, &Payload::zeroed(4096))?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod channel;
+pub mod gpu_enclave;
+pub mod multiuser;
+pub mod protocol;
+pub mod runtime;
+
+pub use gpu_enclave::{GpuEnclave, GpuEnclaveOptions, HixCoreError};
+pub use runtime::HixSession;

@@ -1,0 +1,272 @@
+//! Multi-user execution model (§4.5, Figures 8 and 9).
+//!
+//! The paper runs the same benchmark from several user processes at once:
+//!
+//! * **Gdev (pre-Volta MPS)**: all users' kernels are merged into a
+//!   *single* GPU context with multiple streams — no context switches
+//!   between users (and no isolation, which is the point HIX fixes).
+//! * **HIX**: one GPU context per user enclave; the GPU switches context
+//!   whenever consecutive work belongs to different users, and every
+//!   transfer adds in-GPU crypto kernels.
+//!
+//! The model is an event-driven two-resource scheduler: per-user host
+//! timelines (CPUs are plentiful — Table 3's i7 has 8 threads) and one
+//! serialized GPU timeline. It uses the same [`CostModel`] as the
+//! machine-level simulation; the machine itself is not driven here
+//! because overlapping users require parallel timelines (see DESIGN.md).
+
+use hix_sim::cost::ExecMode;
+use hix_sim::{CostModel, Nanos};
+
+/// A user task, summarized by its transfer/compute profile (the figure
+/// harness fills these from the Rodinia workload descriptors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Task name (diagnostics).
+    pub name: String,
+    /// Host-to-device bytes.
+    pub htod: u64,
+    /// Device-to-host bytes.
+    pub dtoh: u64,
+    /// Pure GPU compute time of all kernels.
+    pub kernel_time: Nanos,
+    /// Number of kernel launches.
+    pub launches: u64,
+}
+
+/// One scheduled segment.
+#[derive(Debug, Clone, Copy)]
+enum Segment {
+    /// Runs on the user's own CPU (enclave crypto, init).
+    Host(Nanos),
+    /// Runs on the GPU, in the given context.
+    Gpu(Nanos, u32),
+}
+
+fn gdev_segments(model: &CostModel, spec: &TaskSpec, _user: u32) -> Vec<Segment> {
+    // Pre-Volta MPS: every user shares context 0.
+    vec![
+        Segment::Host(model.task_init(ExecMode::Gdev)),
+        Segment::Host(model.host_memcpy(spec.htod)),
+        Segment::Gpu(model.pcie_transfer(spec.htod), 0),
+        Segment::Gpu(
+            model.kernel_launch * spec.launches.max(1) + spec.kernel_time,
+            0,
+        ),
+        Segment::Gpu(model.pcie_transfer(spec.dtoh), 0),
+        Segment::Host(model.host_memcpy(spec.dtoh)),
+    ]
+}
+
+fn hix_segments(model: &CostModel, spec: &TaskSpec, user: u32) -> Vec<Segment> {
+    let chunks_dtoh = spec.dtoh.div_ceil(model.pipeline_chunk).max(1);
+    vec![
+        Segment::Host(model.task_init(ExecMode::Hix) + model.ipc_roundtrip * 4),
+        // Pipelined encrypt+DMA: the sealed chunks arrive at crypto pace,
+        // so the DMA engine (a GPU-side resource) is occupied for the
+        // whole crypto-bound duration — unlike Gdev's plain DMA. This is
+        // the §5.4 "underutilization" effect under concurrency.
+        Segment::Gpu(model.hix_htod(spec.htod), user),
+        // Application kernels (each launch adds an IPC hop under HIX).
+        Segment::Gpu(
+            (model.kernel_launch + model.ipc_roundtrip) * spec.launches.max(1) + spec.kernel_time,
+            user,
+        ),
+        // DtoH: per-chunk encrypt kernels, then the crypto-paced DMA out.
+        Segment::Gpu(
+            model.kernel_launch * chunks_dtoh + model.hix_dtoh(spec.dtoh),
+            user,
+        ),
+    ]
+}
+
+/// Which software stack the users run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Unprotected Gdev with MPS-style context merging.
+    Gdev,
+    /// HIX with per-user contexts and encrypted transfers.
+    Hix,
+}
+
+/// Result of a multi-user run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiUserOutcome {
+    /// Wall-clock makespan (last user's completion).
+    pub makespan: Nanos,
+    /// Per-user completion times.
+    pub completions: Vec<Nanos>,
+    /// Number of GPU context switches incurred.
+    pub ctx_switches: u64,
+}
+
+/// Runs `users` concurrent instances of `spec` in `mode` and returns the
+/// outcome.
+pub fn run_multiuser(
+    model: &CostModel,
+    spec: &TaskSpec,
+    users: u32,
+    mode: Mode,
+) -> MultiUserOutcome {
+    let specs = vec![spec.clone(); users as usize];
+    run_multiuser_mixed(model, &specs, mode)
+}
+
+/// Runs heterogeneous user tasks concurrently.
+pub fn run_multiuser_mixed(
+    model: &CostModel,
+    specs: &[TaskSpec],
+    mode: Mode,
+) -> MultiUserOutcome {
+    struct UserState {
+        segments: Vec<Segment>,
+        next: usize,
+        time: Nanos,
+    }
+    // Engine time-slice: concurrent clients interleave at this quantum,
+    // which is what turns per-user contexts into context-switch traffic.
+    let quantum = Nanos::from_millis(5);
+    let mut states: Vec<UserState> = specs
+        .iter()
+        .enumerate()
+        .map(|(u, spec)| {
+            let raw = match mode {
+                Mode::Gdev => gdev_segments(model, spec, u as u32),
+                Mode::Hix => hix_segments(model, spec, u as u32),
+            };
+            let mut segments = Vec::new();
+            for seg in raw {
+                match seg {
+                    Segment::Host(_) => segments.push(seg),
+                    Segment::Gpu(mut d, ctx) => {
+                        while d > quantum {
+                            segments.push(Segment::Gpu(quantum, ctx));
+                            d -= quantum;
+                        }
+                        segments.push(Segment::Gpu(d, ctx));
+                    }
+                }
+            }
+            UserState {
+                segments,
+                next: 0,
+                time: Nanos::ZERO,
+            }
+        })
+        .collect();
+
+    let mut gpu_free = Nanos::ZERO;
+    let mut gpu_ctx: Option<u32> = None;
+    let mut ctx_switches = 0u64;
+
+    loop {
+        // Advance every user's host segments (they run in parallel).
+        for st in &mut states {
+            while let Some(Segment::Host(d)) = st.segments.get(st.next).copied() {
+                st.time += d;
+                st.next += 1;
+            }
+        }
+        // Pick the GPU-ready user that arrived first (FIFO submission).
+        let candidate = states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.next < st.segments.len())
+            .min_by_key(|(_, st)| st.time)
+            .map(|(i, _)| i);
+        let Some(i) = candidate else { break };
+        let st = &mut states[i];
+        let Segment::Gpu(d, ctx) = st.segments[st.next] else {
+            unreachable!("host segments were drained")
+        };
+        let mut start = st.time.max(gpu_free);
+        if gpu_ctx.is_some() && gpu_ctx != Some(ctx) {
+            start += model.ctx_switch;
+            ctx_switches += 1;
+        }
+        gpu_ctx = Some(ctx);
+        let end = start + d;
+        gpu_free = end;
+        st.time = end;
+        st.next += 1;
+    }
+
+    let completions: Vec<Nanos> = states.iter().map(|s| s.time).collect();
+    MultiUserOutcome {
+        makespan: completions.iter().copied().fold(Nanos::ZERO, Nanos::max),
+        completions,
+        ctx_switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TaskSpec {
+        TaskSpec {
+            name: "bp-like".into(),
+            htod: 117 << 20,
+            dtoh: 42 << 20,
+            kernel_time: Nanos::from_millis(22),
+            launches: 2,
+        }
+    }
+
+    #[test]
+    fn hix_single_user_slower_than_gdev() {
+        let model = CostModel::paper();
+        let g = run_multiuser(&model, &spec(), 1, Mode::Gdev);
+        let h = run_multiuser(&model, &spec(), 1, Mode::Hix);
+        assert!(h.makespan > g.makespan);
+    }
+
+    #[test]
+    fn more_users_take_longer_but_sublinearly() {
+        let model = CostModel::paper();
+        let one = run_multiuser(&model, &spec(), 1, Mode::Gdev).makespan;
+        let two = run_multiuser(&model, &spec(), 2, Mode::Gdev).makespan;
+        let four = run_multiuser(&model, &spec(), 4, Mode::Gdev).makespan;
+        assert!(two > one);
+        assert!(four > two);
+        // Host overlap keeps scaling sublinear in GPU-light workloads.
+        assert!(four < one * 8);
+    }
+
+    #[test]
+    fn gdev_mps_has_no_cross_user_ctx_switches() {
+        let model = CostModel::paper();
+        let g = run_multiuser(&model, &spec(), 4, Mode::Gdev);
+        assert_eq!(g.ctx_switches, 0, "MPS merges users into one context");
+        let h = run_multiuser(&model, &spec(), 4, Mode::Hix);
+        assert!(h.ctx_switches > 0, "HIX isolates users in contexts");
+    }
+
+    #[test]
+    fn mixed_workloads_complete() {
+        let model = CostModel::paper();
+        let mut big = spec();
+        big.kernel_time = Nanos::from_millis(200);
+        let out = run_multiuser_mixed(&model, &[spec(), big], Mode::Hix);
+        assert_eq!(out.completions.len(), 2);
+        assert!(out.completions[0] <= out.makespan);
+    }
+
+    #[test]
+    fn hix_overhead_in_expected_band() {
+        // The paper reports HIX ~45% worse than Gdev at 2 users and ~40%
+        // at 4 users (normalized to Gdev). Accept a generous band here;
+        // the figure harness prints exact values.
+        let model = CostModel::paper();
+        let spec = spec();
+        for users in [2u32, 4] {
+            let g = run_multiuser(&model, &spec, users, Mode::Gdev).makespan;
+            let h = run_multiuser(&model, &spec, users, Mode::Hix).makespan;
+            let overhead = h.as_nanos() as f64 / g.as_nanos() as f64 - 1.0;
+            assert!(
+                overhead > 0.10 && overhead < 2.0,
+                "{users} users: overhead {overhead}"
+            );
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! AES-128 block cipher (FIPS 197), table-based, from scratch.
+//!
+//! Only the 128-bit key size is provided — it is the only one HIX uses
+//! (OCB-AES-128). Verified against the FIPS 197 Appendix B example and the
+//! NIST AESAVS known-answer vectors.
+
+/// The AES block size in bytes.
+pub const BLOCK: usize = 16;
+
+/// A 16-byte AES block.
+pub type Block = [u8; BLOCK];
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+#[inline]
+fn mul(a: u8, mut b: u8) -> u8 {
+    // GF(2^8) multiply by repeated xtime (a is a small constant here).
+    let mut acc = 0u8;
+    let mut a = a;
+    while a != 0 {
+        if a & 1 != 0 {
+            acc ^= b;
+        }
+        b = xtime(b);
+        a >>= 1;
+    }
+    acc
+}
+
+/// An expanded AES-128 key (11 round keys).
+///
+/// ```
+/// use hix_crypto::aes::Aes128;
+/// let aes = Aes128::new(&[0u8; 16]);
+/// let ct = aes.encrypt_block([0u8; 16]);
+/// assert_eq!(aes.decrypt_block(ct), [0u8; 16]);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128(<expanded key>)")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, mut state: Block) -> Block {
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, mut state: Block) -> Block {
+        add_round_key(&mut state, &self.round_keys[10]);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        for round in (1..10).rev() {
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+        }
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State layout: state[r + 4*c] is row r, column c (column-major as in FIPS
+// 197's byte ordering of the input sequence).
+#[inline]
+fn shift_rows(state: &mut Block) {
+    for r in 1..4 {
+        let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+        for c in 0..4 {
+            state[r + 4 * c] = row[(c + r) % 4];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut Block) {
+    for r in 1..4 {
+        let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+        for c in 0..4 {
+            state[r + 4 * c] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ xtime(col[1]) ^ col[1] ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ xtime(col[2]) ^ col[2] ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ xtime(col[3]) ^ col[3];
+        state[4 * c + 3] = xtime(col[0]) ^ col[0] ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = mul(0x0e, col[0]) ^ mul(0x0b, col[1]) ^ mul(0x0d, col[2]) ^ mul(0x09, col[3]);
+        state[4 * c + 1] =
+            mul(0x09, col[0]) ^ mul(0x0e, col[1]) ^ mul(0x0b, col[2]) ^ mul(0x0d, col[3]);
+        state[4 * c + 2] =
+            mul(0x0d, col[0]) ^ mul(0x09, col[1]) ^ mul(0x0e, col[2]) ^ mul(0x0b, col[3]);
+        state[4 * c + 3] =
+            mul(0x0b, col[0]) ^ mul(0x0d, col[1]) ^ mul(0x09, col[2]) ^ mul(0x0e, col[3]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn block(s: &str) -> Block {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        // FIPS 197 Appendix B worked example.
+        let aes = Aes128::new(&block("2b7e151628aed2a6abf7158809cf4f3c"));
+        let ct = aes.encrypt_block(block("3243f6a8885a308d313198a2e0370734"));
+        assert_eq!(ct, block("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        // FIPS 197 Appendix C.1 AES-128 known answer.
+        let aes = Aes128::new(&block("000102030405060708090a0b0c0d0e0f"));
+        let ct = aes.encrypt_block(block("00112233445566778899aabbccddeeff"));
+        assert_eq!(ct, block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(
+            aes.decrypt_block(block("69c4e0d86a7b0430d8cdb78070b4c55a")),
+            block("00112233445566778899aabbccddeeff")
+        );
+    }
+
+    #[test]
+    fn aesavs_varkey_vectors() {
+        // NIST AESAVS VarKey known answers (plaintext = 0).
+        let cases = [
+            ("80000000000000000000000000000000", "0edd33d3c621e546455bd8ba1418bec8"),
+            ("c0000000000000000000000000000000", "4bc3f883450c113c64ca42e1112a9e87"),
+            ("ffffffffffffffffffffffffffffffff", "a1f6258c877d5fcd8964484538bfc92c"),
+        ];
+        for (k, c) in cases {
+            let aes = Aes128::new(&block(k));
+            assert_eq!(aes.encrypt_block([0u8; 16]), block(c), "key {k}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        let aes = Aes128::new(&block("2b7e151628aed2a6abf7158809cf4f3c"));
+        let mut x = [0x5au8; 16];
+        for _ in 0..100 {
+            let ct = aes.encrypt_block(x);
+            assert_eq!(aes.decrypt_block(ct), x);
+            x = ct; // chain to vary inputs
+        }
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let s = format!("{aes:?}");
+        assert!(!s.contains("07"), "debug output must not contain key bytes");
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! Minimal arbitrary-precision unsigned integers for Diffie–Hellman.
+//!
+//! Only the operations modular exponentiation needs: comparison, addition,
+//! subtraction, shift, and bitwise-defined modular multiplication. The
+//! implementation favours obvious correctness over speed; the simulator's
+//! default DH group is sized so handshakes stay fast in debug builds.
+
+use std::cmp::Ordering;
+
+/// An unsigned big integer, little-endian `u64` limbs, no leading zero
+/// limbs (canonical form; zero is an empty limb vector).
+///
+/// ```
+/// use hix_crypto::bignum::Uint;
+/// let a = Uint::from_be_bytes(&[0x01, 0x00]); // 256
+/// assert_eq!(a.to_be_bytes(), vec![0x01, 0x00]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct Uint {
+    limbs: Vec<u64>,
+}
+
+impl Uint {
+    /// Zero.
+    pub fn zero() -> Self {
+        Uint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Uint { limbs: vec![1] }
+    }
+
+    /// Constructs from a small value.
+    pub fn from_u64(v: u64) -> Self {
+        let mut u = Uint { limbs: vec![v] };
+        u.normalize();
+        u
+    }
+
+    /// Parses big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut u = Uint { limbs };
+        u.normalize();
+        u
+    }
+
+    /// Parses a hex string (whitespace allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters.
+    pub fn from_hex(s: &str) -> Self {
+        let clean: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let clean = if clean.len() % 2 == 1 {
+            format!("0{clean}")
+        } else {
+            clean
+        };
+        let bytes: Vec<u8> = (0..clean.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&clean[i..i + 2], 16).expect("invalid hex digit"))
+            .collect();
+        Uint::from_be_bytes(&bytes)
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.split_off(first_nonzero)
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian indexing).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    fn add_assign(&mut self, rhs: &Uint) {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (s1, c1) = self.limbs[i].overflowing_add(r);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self -= rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`.
+    fn sub_assign(&mut self, rhs: &Uint) {
+        assert!(*self >= *rhs, "bignum subtraction underflow");
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(r);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    fn shl1_assign(&mut self) {
+        let mut carry = 0u64;
+        for limb in &mut self.limbs {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `(self + rhs) mod m`; requires `self < m` and `rhs < m`.
+    pub fn modadd(&self, rhs: &Uint, m: &Uint) -> Uint {
+        debug_assert!(self < m && rhs < m);
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        if out >= *m {
+            out.sub_assign(m);
+        }
+        out
+    }
+
+    /// `(self * rhs) mod m` via left-to-right shift-and-add; requires
+    /// `self < m`.
+    pub fn modmul(&self, rhs: &Uint, m: &Uint) -> Uint {
+        debug_assert!(self < m, "modmul requires reduced lhs");
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        let mut acc = Uint::zero();
+        for i in (0..rhs.bits()).rev() {
+            acc.shl1_assign();
+            if acc >= *m {
+                acc.sub_assign(m);
+            }
+            if rhs.bit(i) {
+                acc.add_assign(self);
+                if acc >= *m {
+                    acc.sub_assign(m);
+                }
+            }
+        }
+        acc
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &Uint, m: &Uint) -> Uint {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if *m == Uint::one() {
+            return Uint::zero();
+        }
+        let base = self.rem(m);
+        let mut acc = Uint::one();
+        for i in (0..exp.bits()).rev() {
+            acc = acc.modmul(&acc, m);
+            if exp.bit(i) {
+                acc = acc.modmul(&base, m);
+            }
+        }
+        acc
+    }
+
+    /// `self mod m` by shift-subtract reduction.
+    pub fn rem(&self, m: &Uint) -> Uint {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        if self < m {
+            return self.clone();
+        }
+        let mut acc = Uint::zero();
+        for i in (0..self.bits()).rev() {
+            acc.shl1_assign();
+            if self.bit(i) {
+                acc.add_assign(&Uint::one());
+            }
+            if acc >= *m {
+                acc.sub_assign(m);
+            }
+        }
+        acc
+    }
+}
+
+impl PartialOrd for Uint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Uint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let cases: [&[u8]; 4] = [&[], &[1], &[0xff; 9], &[1, 0, 0, 0, 0, 0, 0, 0, 0]];
+        for bytes in cases {
+            let u = Uint::from_be_bytes(bytes);
+            let back = u.to_be_bytes();
+            // canonical: strips leading zeros
+            let want: Vec<u8> = bytes
+                .iter()
+                .copied()
+                .skip_while(|&b| b == 0)
+                .collect();
+            assert_eq!(back, want);
+        }
+    }
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(Uint::from_hex("ff"), Uint::from_u64(255));
+        assert_eq!(Uint::from_hex("1 00"), Uint::from_u64(256));
+        assert_eq!(Uint::from_hex("f"), Uint::from_u64(15)); // odd length
+    }
+
+    #[test]
+    fn comparison_and_bits() {
+        let a = Uint::from_hex("ffffffffffffffffff"); // 72 bits
+        let b = Uint::from_hex("1000000000000000000"); // 2^72
+        assert!(a < b);
+        assert_eq!(a.bits(), 72);
+        assert!(a.bit(0) && a.bit(71) && !a.bit(72));
+        assert_eq!(Uint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn modadd_wraps() {
+        let m = Uint::from_u64(100);
+        let a = Uint::from_u64(70);
+        let b = Uint::from_u64(50);
+        assert_eq!(a.modadd(&b, &m), Uint::from_u64(20));
+    }
+
+    #[test]
+    fn modmul_small() {
+        let m = Uint::from_u64(97);
+        let a = Uint::from_u64(53);
+        let b = Uint::from_u64(88);
+        assert_eq!(a.modmul(&b, &m), Uint::from_u64(53 * 88 % 97));
+        assert_eq!(a.modmul(&Uint::zero(), &m), Uint::zero());
+    }
+
+    #[test]
+    fn modpow_small() {
+        let m = Uint::from_u64(1_000_000_007);
+        let base = Uint::from_u64(2);
+        let exp = Uint::from_u64(100);
+        // 2^100 mod 1e9+7 = 976371285
+        assert_eq!(base.modpow(&exp, &m), Uint::from_u64(976_371_285));
+        assert_eq!(base.modpow(&Uint::zero(), &m), Uint::one());
+        assert_eq!(Uint::zero().modpow(&Uint::from_u64(5), &m), Uint::zero());
+    }
+
+    #[test]
+    fn modpow_multilimb_fermat() {
+        // Fermat's little theorem on a 127-bit Mersenne prime:
+        // a^(p-1) = 1 (mod p) for p = 2^127 - 1.
+        let p = Uint::from_hex("7fffffffffffffffffffffffffffffff");
+        let mut pm1 = p.clone();
+        pm1.sub_assign(&Uint::one());
+        let a = Uint::from_hex("123456789abcdef0fedcba9876543210");
+        assert_eq!(a.modpow(&pm1, &p), Uint::one());
+    }
+
+    #[test]
+    fn rem_matches_u128() {
+        let a = Uint::from_hex("123456789abcdef0123456789abcdef");
+        let m = Uint::from_u64(1_000_003);
+        let a128 = 0x123456789abcdef0123456789abcdefu128;
+        assert_eq!(a.rem(&m), Uint::from_u64((a128 % 1_000_003) as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut a = Uint::from_u64(1);
+        a.sub_assign(&Uint::from_u64(2));
+    }
+}

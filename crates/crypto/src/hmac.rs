@@ -1,0 +1,119 @@
+//! HMAC-SHA-256 (RFC 2104), used for enclave report MACs and as the PRF
+//! inside the KDF and DRBG.
+
+use crate::sha256::{digest, Digest, Sha256};
+
+/// Computes `HMAC-SHA256(key, msg)`.
+///
+/// ```
+/// use hix_crypto::hmac::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(msg);
+    mac.finish()
+}
+
+/// Incremental HMAC-SHA-256.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; 64],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; 64];
+        if key.len() > 64 {
+            k[..32].copy_from_slice(&digest(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; 64];
+        let mut opad_key = [0u8; 64];
+        for i in 0..64 {
+            ipad_key[i] = k[i] ^ 0x36;
+            opad_key[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, msg: &[u8]) {
+        self.inner.update(msg);
+    }
+
+    /// Finalizes and returns the 32-byte tag.
+    pub fn finish(self) -> Digest {
+        let inner_digest = self.inner.finish();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hexd(s: &str) -> Digest {
+        let mut out = [0u8; 32];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn rfc4231_case1() {
+        let tag = hmac_sha256(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            tag,
+            hexd("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag,
+            hexd("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let tag = hmac_sha256(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            tag,
+            hexd("773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let tag = hmac_sha256(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            tag,
+            hexd("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut m = HmacSha256::new(b"k");
+        m.update(b"hello ");
+        m.update(b"world");
+        assert_eq!(m.finish(), hmac_sha256(b"k", b"hello world"));
+    }
+}

@@ -1,0 +1,102 @@
+//! HKDF-style key derivation (RFC 5869, SHA-256), used to turn the
+//! Diffie–Hellman shared secret into session keys for the user-enclave /
+//! GPU-enclave / GPU channel (§4.4.1).
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+
+/// Extracts a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// Expands `prk` into `len` bytes of output keying material bound to
+/// `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (HKDF limit).
+pub fn expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "hkdf output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        t = mac.finish().to_vec();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&t[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// One-shot extract-then-expand.
+///
+/// ```
+/// use hix_crypto::kdf;
+/// let key = kdf::derive(b"salt", b"shared-secret", b"hix session", 16);
+/// assert_eq!(key.len(), 16);
+/// ```
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+/// Derives a 16-byte OCB-AES session key.
+pub fn derive_aes128(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 16] {
+    derive(salt, ikm, info, 16).try_into().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = hex("000102030405060708090a0b0c");
+        let info = hex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            prk.to_vec(),
+            hex("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            okm,
+            hex("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+        );
+    }
+
+    #[test]
+    fn rfc5869_case3_empty_salt_info() {
+        let ikm = [0x0b; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            okm,
+            hex("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let a = derive_aes128(b"s", b"secret", b"user->gpu");
+        let b = derive_aes128(b"s", b"secret", b"gpu->user");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn expand_rejects_huge_output() {
+        let _ = expand(&[0u8; 32], b"", 255 * 32 + 1);
+    }
+}

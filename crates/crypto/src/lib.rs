@@ -1,0 +1,68 @@
+//! # hix-crypto — cryptographic primitives for the HIX reproduction
+//!
+//! Everything HIX needs, implemented from scratch in safe Rust and tested
+//! against published vectors:
+//!
+//! * [`aes`] — AES-128 block cipher (FIPS 197).
+//! * [`ocb`] — OCB authenticated encryption (RFC 7253), the algorithm the
+//!   paper uses for all DMA / inter-enclave data protection ("OCB-AES-128",
+//!   §5.2).
+//! * [`sha256`] / [`hmac`] — SHA-256 and HMAC-SHA-256, used for enclave
+//!   measurement, report MACs, and key derivation.
+//! * [`dh`] — finite-field Diffie–Hellman (RFC 3526 group 14) for the
+//!   user-enclave / GPU-enclave / GPU key agreement (§4.4.1).
+//! * [`kdf`] — HKDF-style key derivation over HMAC-SHA-256.
+//! * [`drbg`] — a deterministic HMAC-DRBG for reproducible simulations.
+//!
+//! This crate is pure (no simulator dependencies): it operates on byte
+//! slices only. Virtual-time charging for crypto happens in the layers
+//! that call it.
+//!
+//! ```
+//! use hix_crypto::ocb::{self, Key, Nonce};
+//!
+//! let key = Key::from_bytes([0u8; 16]);
+//! let nonce = Nonce::from_counter(1);
+//! let sealed = ocb::seal(&key, &nonce, b"header", b"secret payload");
+//! let opened = ocb::open(&key, &nonce, b"header", &sealed).unwrap();
+//! assert_eq!(opened, b"secret payload");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod dh;
+pub mod drbg;
+pub mod hmac;
+pub mod kdf;
+pub mod bignum;
+pub mod ocb;
+pub mod sha256;
+
+/// Constant-time equality over byte slices.
+///
+/// Returns `false` immediately if lengths differ; within equal-length
+/// comparisons the timing does not depend on the data.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+}

@@ -1,0 +1,449 @@
+//! OCB authenticated encryption (RFC 7253) over AES-128.
+//!
+//! This is the algorithm HIX uses for every piece of data crossing an
+//! untrusted medium: the inter-enclave shared memory, the DMA buffers, and
+//! the GPU-side crypto kernels (§4.3.3, §5.2 — "OCB-AES-128 authenticated
+//! encryption"). Verified against the RFC 7253 Appendix A vectors.
+
+use crate::aes::{Aes128, Block, BLOCK};
+use crate::ct_eq;
+
+/// Authentication tag length in bytes (TAGLEN = 128 bits).
+pub const TAG_LEN: usize = 16;
+
+/// Nonce length in bytes (96-bit nonces, the RFC-recommended size).
+pub const NONCE_LEN: usize = 12;
+
+/// An OCB-AES-128 key.
+#[derive(Clone)]
+pub struct Key([u8; 16]);
+
+impl Key {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        Key(bytes)
+    }
+
+    /// Borrows the raw key bytes (for key-derivation plumbing only).
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Key(<hidden>)")
+    }
+}
+
+/// A 96-bit OCB nonce. Nonces must never repeat under one key; HIX uses an
+/// incrementing counter per direction (§5.5: "an incrementing nonce is
+/// also used to ensure freshness ... and to prevent replay attacks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nonce([u8; NONCE_LEN]);
+
+impl Nonce {
+    /// Wraps raw nonce bytes.
+    pub fn from_bytes(bytes: [u8; NONCE_LEN]) -> Self {
+        Nonce(bytes)
+    }
+
+    /// Builds a nonce from a message counter (big-endian in the low bytes).
+    pub fn from_counter(counter: u64) -> Self {
+        let mut n = [0u8; NONCE_LEN];
+        n[4..].copy_from_slice(&counter.to_be_bytes());
+        Nonce(n)
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; NONCE_LEN] {
+        &self.0
+    }
+}
+
+/// Decryption failure: the tag did not verify (data was tampered with, or
+/// key/nonce/AAD mismatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagMismatch;
+
+impl std::fmt::Display for TagMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for TagMismatch {}
+
+fn double(b: Block) -> Block {
+    let mut out = [0u8; BLOCK];
+    let mut carry = 0u8;
+    for i in (0..BLOCK).rev() {
+        out[i] = (b[i] << 1) | carry;
+        carry = b[i] >> 7;
+    }
+    if carry == 1 {
+        out[BLOCK - 1] ^= 0x87;
+    }
+    out
+}
+
+fn xor(a: &Block, b: &Block) -> Block {
+    let mut out = *a;
+    for (o, x) in out.iter_mut().zip(b) {
+        *o ^= x;
+    }
+    out
+}
+
+/// A ready-to-use OCB context (expanded key + L table cache).
+///
+/// ```
+/// use hix_crypto::ocb::{Ocb, Key, Nonce};
+/// let ocb = Ocb::new(&Key::from_bytes([0; 16]));
+/// let ct = ocb.seal(&Nonce::from_counter(7), b"aad", b"data");
+/// assert_eq!(ocb.open(&Nonce::from_counter(7), b"aad", &ct).unwrap(), b"data");
+/// assert!(ocb.open(&Nonce::from_counter(8), b"aad", &ct).is_err());
+/// ```
+#[derive(Clone)]
+pub struct Ocb {
+    aes: Aes128,
+    l_star: Block,
+    l_dollar: Block,
+    l: Vec<Block>, // L_0, L_1, ... grown on demand up to 64 entries
+}
+
+impl std::fmt::Debug for Ocb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ocb(<keyed context>)")
+    }
+}
+
+impl Ocb {
+    /// Builds the context, precomputing the L table.
+    pub fn new(key: &Key) -> Self {
+        let aes = Aes128::new(&key.0);
+        let l_star = aes.encrypt_block([0u8; 16]);
+        let l_dollar = double(l_star);
+        let mut l = Vec::with_capacity(64);
+        l.push(double(l_dollar));
+        for i in 1..64 {
+            let prev = l[i - 1];
+            l.push(double(prev));
+        }
+        Ocb {
+            aes,
+            l_star,
+            l_dollar,
+            l,
+        }
+    }
+
+    fn initial_offset(&self, nonce: &Nonce) -> Block {
+        // TAGLEN = 128 -> the 7-bit tag field is zero.
+        let mut full = [0u8; 16];
+        full[16 - NONCE_LEN - 1] = 0x01;
+        full[16 - NONCE_LEN..].copy_from_slice(&nonce.0);
+        let bottom = (full[15] & 0x3f) as usize;
+        let mut masked = full;
+        masked[15] &= 0xc0;
+        let ktop = self.aes.encrypt_block(masked);
+        let mut stretch = [0u8; 24];
+        stretch[..16].copy_from_slice(&ktop);
+        for i in 0..8 {
+            stretch[16 + i] = ktop[i] ^ ktop[i + 1];
+        }
+        // Offset_0 = Stretch[1+bottom .. 128+bottom] (bit indices).
+        let byte = bottom / 8;
+        let bit = bottom % 8;
+        let mut offset = [0u8; 16];
+        for i in 0..16 {
+            offset[i] = if bit == 0 {
+                stretch[byte + i]
+            } else {
+                (stretch[byte + i] << bit) | (stretch[byte + i + 1] >> (8 - bit))
+            };
+        }
+        offset
+    }
+
+    fn hash_aad(&self, aad: &[u8]) -> Block {
+        let mut sum = [0u8; 16];
+        let mut offset = [0u8; 16];
+        let mut chunks = aad.chunks_exact(BLOCK);
+        for (index, chunk) in (&mut chunks).enumerate() {
+            let i = index as u64 + 1;
+            offset = xor(&offset, &self.l[i.trailing_zeros() as usize]);
+            let block: Block = chunk.try_into().unwrap();
+            sum = xor(&sum, &self.aes.encrypt_block(xor(&block, &offset)));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            offset = xor(&offset, &self.l_star);
+            let mut block = [0u8; 16];
+            block[..rest.len()].copy_from_slice(rest);
+            block[rest.len()] = 0x80;
+            sum = xor(&sum, &self.aes.encrypt_block(xor(&block, &offset)));
+        }
+        sum
+    }
+
+    /// Encrypts `plaintext` bound to `aad`, returning `ciphertext || tag`.
+    pub fn seal(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut offset = self.initial_offset(nonce);
+        let mut checksum = [0u8; 16];
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        let mut chunks = plaintext.chunks_exact(BLOCK);
+        for (index, chunk) in (&mut chunks).enumerate() {
+            let i = index as u64 + 1;
+            let block: Block = chunk.try_into().unwrap();
+            offset = xor(&offset, &self.l[i.trailing_zeros() as usize]);
+            out.extend_from_slice(&xor(
+                &offset,
+                &self.aes.encrypt_block(xor(&block, &offset)),
+            ));
+            checksum = xor(&checksum, &block);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            offset = xor(&offset, &self.l_star);
+            let pad = self.aes.encrypt_block(offset);
+            for (p, k) in rest.iter().zip(&pad) {
+                out.push(p ^ k);
+            }
+            let mut padded = [0u8; 16];
+            padded[..rest.len()].copy_from_slice(rest);
+            padded[rest.len()] = 0x80;
+            checksum = xor(&checksum, &padded);
+        }
+        let tag_body = xor(&xor(&checksum, &offset), &self.l_dollar);
+        let tag = xor(&self.aes.encrypt_block(tag_body), &self.hash_aad(aad));
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `sealed` (`ciphertext || tag`) bound to `aad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMismatch`] if the input is shorter than a tag or the
+    /// tag fails to verify. No plaintext is released on failure.
+    pub fn open(&self, nonce: &Nonce, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, TagMismatch> {
+        if sealed.len() < TAG_LEN {
+            return Err(TagMismatch);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let mut offset = self.initial_offset(nonce);
+        let mut checksum = [0u8; 16];
+        let mut out = Vec::with_capacity(ciphertext.len());
+        let mut chunks = ciphertext.chunks_exact(BLOCK);
+        for (index, chunk) in (&mut chunks).enumerate() {
+            let i = index as u64 + 1;
+            let block: Block = chunk.try_into().unwrap();
+            offset = xor(&offset, &self.l[i.trailing_zeros() as usize]);
+            let p = xor(&offset, &self.aes.decrypt_block(xor(&block, &offset)));
+            out.extend_from_slice(&p);
+            checksum = xor(&checksum, &p);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            offset = xor(&offset, &self.l_star);
+            let pad = self.aes.encrypt_block(offset);
+            let start = out.len();
+            for (c, k) in rest.iter().zip(&pad) {
+                out.push(c ^ k);
+            }
+            let mut padded = [0u8; 16];
+            padded[..rest.len()].copy_from_slice(&out[start..]);
+            padded[rest.len()] = 0x80;
+            checksum = xor(&checksum, &padded);
+        }
+        let tag_body = xor(&xor(&checksum, &offset), &self.l_dollar);
+        let expect = xor(&self.aes.encrypt_block(tag_body), &self.hash_aad(aad));
+        if ct_eq(&expect, tag) {
+            Ok(out)
+        } else {
+            Err(TagMismatch)
+        }
+    }
+}
+
+/// One-shot seal with a fresh context (prefer [`Ocb`] for bulk use).
+pub fn seal(key: &Key, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    Ocb::new(key).seal(nonce, aad, plaintext)
+}
+
+/// One-shot open with a fresh context.
+///
+/// # Errors
+///
+/// Returns [`TagMismatch`] when authentication fails.
+pub fn open(
+    key: &Key,
+    nonce: &Nonce,
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, TagMismatch> {
+    Ocb::new(key).open(nonce, aad, sealed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> Key {
+        Key::from_bytes(hex("000102030405060708090A0B0C0D0E0F").try_into().unwrap())
+    }
+
+    fn rfc_nonce(last: &str) -> Nonce {
+        Nonce::from_bytes(
+            hex(&format!("BBAA9988776655443322110{last}"))
+                .try_into()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn rfc7253_empty() {
+        let c = seal(&rfc_key(), &rfc_nonce("0"), b"", b"");
+        assert_eq!(c, hex("785407BFFFC8AD9EDCC5520AC9111EE6"));
+    }
+
+    #[test]
+    fn rfc7253_one_block_each() {
+        let a = hex("0001020304050607");
+        let p = hex("0001020304050607");
+        let c = seal(&rfc_key(), &rfc_nonce("1"), &a, &p);
+        assert_eq!(c, hex("6820B3657B6F615A5725BDA0D3B4EB3A257C9AF1F8F03009"));
+    }
+
+    #[test]
+    fn rfc7253_aad_only() {
+        let a = hex("0001020304050607");
+        let c = seal(&rfc_key(), &rfc_nonce("2"), &a, b"");
+        assert_eq!(c, hex("81017F8203F081277152FADE694A0A00"));
+    }
+
+    #[test]
+    fn rfc7253_plaintext_only() {
+        let p = hex("0001020304050607");
+        let c = seal(&rfc_key(), &rfc_nonce("3"), b"", &p);
+        assert_eq!(c, hex("45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9"));
+    }
+
+    #[test]
+    fn rfc7253_full_block() {
+        let m = hex("000102030405060708090A0B0C0D0E0F");
+        let c = seal(&rfc_key(), &rfc_nonce("4"), &m, &m);
+        assert_eq!(
+            c,
+            hex("571D535B60B277188BE5147170A9A22C3AD7A4FF3835B8C5701C1CCEC8FC3358")
+        );
+    }
+
+    #[test]
+    fn rfc7253_24_bytes() {
+        let m = hex("000102030405060708090A0B0C0D0E0F1011121314151617");
+        let c = seal(&rfc_key(), &rfc_nonce("6"), &m, &m);
+        assert_eq!(
+            c,
+            hex("5CE88EC2E0692706A915C00AEB8B23968467B2CFBB580496923A4C5285B1F9AE693442EC9CDFB030")
+        );
+    }
+
+    #[test]
+    fn rfc7253_40_bytes_partial_final_block() {
+        let m = hex(
+            "000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F2021222324252627",
+        );
+        let c = seal(&rfc_key(), &rfc_nonce("F"), &m, &m);
+        assert_eq!(
+            c,
+            hex("4412923493C57D5DE0D700F753CCE0D1D2D95060122E9F15A5DDBFC5787E50B5CC55EE507BCB084E240A353649432AC6C1BDA9ACBA93F56D")
+        );
+    }
+
+    #[test]
+    fn rfc7253_iterated_wide_test() {
+        // RFC 7253 Appendix A iterated algorithm: exercises every message
+        // length 0..=127 (multi-block, partial blocks, AAD-only, PT-only)
+        // and yields a single published check value.
+        let key = Key::from_bytes({
+            let mut k = [0u8; 16];
+            k[15] = 128; // num2str(TAGLEN, 8)
+            k
+        });
+        let ocb = Ocb::new(&key);
+        let nonce_of = |n: u32| {
+            let mut b = [0u8; NONCE_LEN];
+            b[8..].copy_from_slice(&n.to_be_bytes());
+            Nonce::from_bytes(b)
+        };
+        let mut c = Vec::new();
+        for i in 0u32..128 {
+            let s = vec![0u8; i as usize];
+            c.extend(ocb.seal(&nonce_of(3 * i + 1), &s, &s));
+            c.extend(ocb.seal(&nonce_of(3 * i + 2), b"", &s));
+            c.extend(ocb.seal(&nonce_of(3 * i + 3), &s, b""));
+        }
+        let out = ocb.seal(&nonce_of(385), &c, b"");
+        assert_eq!(out, hex("67E944D23256C5E0B6C61FA22FDF1EA2"));
+    }
+
+    #[test]
+    fn roundtrip_many_lengths() {
+        let ocb = Ocb::new(&rfc_key());
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let p: Vec<u8> = (0..len as u32).map(|i| i as u8).collect();
+            let n = Nonce::from_counter(len as u64);
+            let sealed = ocb.seal(&n, b"hdr", &p);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(ocb.open(&n, b"hdr", &sealed).unwrap(), p, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let ocb = Ocb::new(&rfc_key());
+        let n = Nonce::from_counter(1);
+        let mut sealed = ocb.seal(&n, b"a", b"payload");
+        // Flip every byte position in turn; all must be rejected.
+        for i in 0..sealed.len() {
+            sealed[i] ^= 1;
+            assert_eq!(ocb.open(&n, b"a", &sealed), Err(TagMismatch), "pos {i}");
+            sealed[i] ^= 1;
+        }
+        // Sanity: unmodified opens.
+        assert!(ocb.open(&n, b"a", &sealed).is_ok());
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let ocb = Ocb::new(&rfc_key());
+        let n = Nonce::from_counter(1);
+        let sealed = ocb.seal(&n, b"a", b"payload");
+        assert!(ocb.open(&Nonce::from_counter(2), b"a", &sealed).is_err());
+        assert!(ocb.open(&n, b"b", &sealed).is_err());
+        let other = Ocb::new(&Key::from_bytes([9u8; 16]));
+        assert!(other.open(&n, b"a", &sealed).is_err());
+        assert!(ocb.open(&n, b"a", &sealed[..10]).is_err(), "truncated input");
+    }
+
+    #[test]
+    fn nonce_from_counter_distinct() {
+        assert_ne!(Nonce::from_counter(1), Nonce::from_counter(2));
+        assert_eq!(Nonce::from_counter(7).as_bytes()[11], 7);
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        assert_eq!(format!("{:?}", rfc_key()), "Key(<hidden>)");
+        assert_eq!(format!("{:?}", Ocb::new(&rfc_key())), "Ocb(<keyed context>)");
+    }
+}

@@ -1,0 +1,30 @@
+//! # hix-driver — a Gdev-like user-level GPU driver
+//!
+//! The paper lifts the open-source Gdev CUDA runtime out of the OS and
+//! into the GPU enclave. This crate is that driver: a register-level GPU
+//! driver ([`GpuDriver`]) plus the unprotected baseline runtime
+//! ([`gdev::Gdev`]) the paper compares against.
+//!
+//! The driver is deliberately *access-path agnostic*: it drives the GPU
+//! purely through virtual-memory MMIO accesses issued as some process.
+//! Run it from an ordinary process with OS-mapped MMIO and you get the
+//! insecure Gdev baseline; run it from the GPU enclave over
+//! `EGADD`-registered trusted MMIO and you get HIX (`hix-core` does
+//! exactly that). The code is identical — which mirrors the paper's
+//! "refactor the GPU device driver to work from within the CPU trusted
+//! environment".
+//!
+//! [`rig`] builds the standard simulated machine (root port + GPU +
+//! BIOS-programmed BARs) used by tests, examples, and benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod driver;
+pub mod gdev;
+pub mod rig;
+
+pub use buffer::DmaBuffer;
+pub use driver::{DriverError, GpuDriver};
+pub use gdev::Gdev;
+pub use rig::{standard_rig, RigOptions};

@@ -1,0 +1,262 @@
+//! Standard simulated machine construction (the "testbed").
+//!
+//! Wires a [`Machine`] with one root port and the GPU, programs the BARs
+//! the way the BIOS of Table 3's testbed would, and installs the built-in
+//! crypto kernels plus any workload kernels the caller supplies.
+
+use hix_gpu::device::{GpuConfig, GpuDevice};
+use hix_gpu::GpuKernel;
+use hix_pcie::addr::{Bdf, PhysAddr, PhysRange};
+use hix_pcie::config::{offsets, ConfigSpace};
+use hix_pcie::fabric::Provenance;
+use hix_platform::{Machine, MachineConfig};
+
+/// Physical address the BIOS assigns to BAR0 (registers, 16 MiB).
+pub const BAR0_PA: PhysAddr = PhysAddr::new(0xc000_0000);
+/// Physical address of BAR1 (VRAM aperture, 256 MiB).
+pub const BAR1_PA: PhysAddr = PhysAddr::new(0xd000_0000);
+/// The GPU's bus/device/function.
+pub const GPU_BDF: Bdf = Bdf {
+    bus: 1,
+    device: 0,
+    function: 0,
+};
+/// The root port's BDF.
+pub const PORT_BDF: Bdf = Bdf {
+    bus: 0,
+    device: 1,
+    function: 0,
+};
+/// The second GPU's BDF when [`RigOptions::second_gpu`] is set.
+pub const GPU2_BDF: Bdf = Bdf {
+    bus: 1,
+    device: 1,
+    function: 0,
+};
+/// BAR0 of the second GPU (registers only; no aperture is programmed).
+pub const GPU2_BAR0_PA: PhysAddr = PhysAddr::new(0xc100_0000);
+
+/// Options for [`standard_rig`].
+#[derive(Default)]
+pub struct RigOptions {
+    /// Machine configuration (cost model, boot seed).
+    pub machine: MachineConfig,
+    /// GPU configuration (VRAM size, synthetic mode, seed).
+    pub gpu: GpuConfig,
+    /// Extra kernels to install (workloads).
+    pub kernels: Vec<Box<dyn GpuKernel>>,
+    /// Attach a second hardware GPU at [`GPU2_BDF`] (multi-GPU systems
+    /// without peer-to-peer, §5.6).
+    pub second_gpu: bool,
+}
+
+
+impl std::fmt::Debug for RigOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RigOptions")
+            .field("gpu", &self.gpu)
+            .field("extra_kernels", &self.kernels.len())
+            .finish()
+    }
+}
+
+/// Builds the standard machine: root port at 00:01.0 forwarding the MMIO
+/// hole to bus 1, the GPU at 01:00.0 with BIOS-programmed BARs, crypto
+/// kernels installed, and the IOMMU left in identity-passthrough (the
+/// common boot configuration; attacks re-program it).
+pub fn standard_rig(options: RigOptions) -> Machine {
+    let gpu_config = options.gpu.clone();
+    let mut machine = Machine::new(options.machine);
+
+    // BIOS: root port with a window over the whole MMIO hole.
+    let mut port_cfg = ConfigSpace::bridge(0x8086, 0x3420); // IOH3420, as in the paper's QEMU setup
+    {
+        let w = port_cfg.bridge_window_mut();
+        w.primary_bus = 0;
+        w.secondary_bus = 1;
+        w.subordinate_bus = 1;
+        w.window = Some(PhysRange::new(
+            hix_platform::mem::layout::MMIO.base,
+            hix_platform::mem::layout::MMIO.len,
+        ));
+    }
+    machine
+        .fabric_mut()
+        .add_root_port(PORT_BDF, port_cfg)
+        .expect("fresh fabric");
+
+    // The GPU itself, enumerated at boot => Hardware provenance.
+    let mut gpu = GpuDevice::new(
+        gpu_config.clone(),
+        machine.clock().clone(),
+        machine.model().clone(),
+        machine.trace().clone(),
+    );
+    hix_gpu::crypto_kernels::install(&mut gpu);
+    for kernel in options.kernels {
+        gpu.install_kernel(kernel);
+    }
+    machine
+        .fabric_mut()
+        .add_endpoint(GPU_BDF, Box::new(gpu), Provenance::Hardware)
+        .expect("fresh slot");
+
+    // BIOS programs the BARs and enables memory decode.
+    machine
+        .config_write(GPU_BDF, offsets::BAR0, BAR0_PA.value() as u32)
+        .unwrap();
+    machine
+        .config_write(GPU_BDF, offsets::BAR0 + 4, BAR1_PA.value() as u32)
+        .unwrap();
+    machine.config_write(GPU_BDF, offsets::COMMAND, 0b10).unwrap();
+
+    if options.second_gpu {
+        // A second GPU behind the same root port, registers-only (no
+        // BAR1 aperture programmed — the MMIO hole is sized for one
+        // aperture; the DMA path is unaffected).
+        let mut gpu2 = GpuDevice::new(
+            GpuConfig {
+                seed: gpu_config.seed.wrapping_add(1),
+                ..gpu_config
+            },
+            machine.clock().clone(),
+            machine.model().clone(),
+            machine.trace().clone(),
+        );
+        hix_gpu::crypto_kernels::install(&mut gpu2);
+        machine
+            .fabric_mut()
+            .add_endpoint(GPU2_BDF, Box::new(gpu2), Provenance::Hardware)
+            .expect("fresh slot");
+        machine
+            .config_write(GPU2_BDF, offsets::BAR0, GPU2_BAR0_PA.value() as u32)
+            .unwrap();
+        machine.config_write(GPU2_BDF, offsets::COMMAND, 0b10).unwrap();
+    }
+
+    // Boot firmware leaves the IOMMU in passthrough.
+    machine.iommu_mut().set_passthrough(true);
+    machine
+}
+
+/// The GPU's BDF in the [`switched_rig`] topology.
+pub const SWITCHED_GPU_BDF: Bdf = Bdf {
+    bus: 3,
+    device: 0,
+    function: 0,
+};
+
+/// Builds a machine whose GPU sits *behind a PCIe switch*:
+/// root port (00:01.0) → switch upstream (01:00.0) → switch downstream
+/// (02:00.0) → GPU (03:00.0). Exercises the §4.3.2 requirement that
+/// lockdown freezes every bridge between the root complex and the GPU.
+pub fn switched_rig(options: RigOptions) -> Machine {
+    let gpu_config = options.gpu.clone();
+    let mut machine = Machine::new(options.machine);
+    let window = Some(PhysRange::new(
+        hix_platform::mem::layout::MMIO.base,
+        hix_platform::mem::layout::MMIO.len,
+    ));
+
+    let mut port_cfg = ConfigSpace::bridge(0x8086, 0x3420);
+    {
+        let w = port_cfg.bridge_window_mut();
+        w.secondary_bus = 1;
+        w.subordinate_bus = 3;
+        w.window = window;
+    }
+    machine
+        .fabric_mut()
+        .add_root_port(PORT_BDF, port_cfg)
+        .expect("fresh fabric");
+
+    let mut up_cfg = ConfigSpace::bridge(0x10b5, 0x8747); // PLX-style switch
+    {
+        let w = up_cfg.bridge_window_mut();
+        w.primary_bus = 1;
+        w.secondary_bus = 2;
+        w.subordinate_bus = 3;
+        w.window = window;
+    }
+    machine
+        .fabric_mut()
+        .add_switch_port(Bdf::new(1, 0, 0), up_cfg)
+        .expect("upstream port");
+    let mut down_cfg = ConfigSpace::bridge(0x10b5, 0x8747);
+    {
+        let w = down_cfg.bridge_window_mut();
+        w.primary_bus = 2;
+        w.secondary_bus = 3;
+        w.subordinate_bus = 3;
+        w.window = window;
+    }
+    machine
+        .fabric_mut()
+        .add_switch_port(Bdf::new(2, 0, 0), down_cfg)
+        .expect("downstream port");
+
+    let mut gpu = GpuDevice::new(
+        gpu_config,
+        machine.clock().clone(),
+        machine.model().clone(),
+        machine.trace().clone(),
+    );
+    hix_gpu::crypto_kernels::install(&mut gpu);
+    for kernel in options.kernels {
+        gpu.install_kernel(kernel);
+    }
+    machine
+        .fabric_mut()
+        .add_endpoint(SWITCHED_GPU_BDF, Box::new(gpu), Provenance::Hardware)
+        .expect("fresh slot");
+    machine
+        .config_write(SWITCHED_GPU_BDF, offsets::BAR0, BAR0_PA.value() as u32)
+        .unwrap();
+    machine
+        .config_write(SWITCHED_GPU_BDF, offsets::BAR0 + 4, BAR1_PA.value() as u32)
+        .unwrap();
+    machine
+        .config_write(SWITCHED_GPU_BDF, offsets::COMMAND, 0b10)
+        .unwrap();
+    machine.iommu_mut().set_passthrough(true);
+    machine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hix_gpu::regs::{bar0, GPU_MAGIC};
+    use hix_pcie::config::BarIndex;
+
+    #[test]
+    fn rig_routes_gpu_mmio() {
+        let machine = standard_rig(RigOptions::default());
+        let (bdf, bar, off) = machine.fabric().route_mem(BAR0_PA).unwrap();
+        assert_eq!(bdf, GPU_BDF);
+        assert_eq!(bar, BarIndex(0));
+        assert_eq!(off, 0);
+        let (_, bar, _) = machine.fabric().route_mem(BAR1_PA).unwrap();
+        assert_eq!(bar, BarIndex(1));
+    }
+
+    #[test]
+    fn rig_gpu_answers_with_magic() {
+        let mut machine = standard_rig(RigOptions::default());
+        let mut buf = [0u8; 8];
+        machine
+            .fabric_mut()
+            .mmio_read(BAR0_PA.offset(bar0::ID), &mut buf)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(buf), GPU_MAGIC);
+    }
+
+    #[test]
+    fn rig_bios_measurable() {
+        let machine = standard_rig(RigOptions::default());
+        let rom = machine
+            .fabric()
+            .read_expansion_rom(GPU_BDF, 0, 8)
+            .unwrap();
+        assert_eq!(&rom, b"HIXBIOS1");
+    }
+}

@@ -1,0 +1,76 @@
+//! BAR0 register map.
+//!
+//! ```text
+//! 0x0000  ID          (ro)  device identification magic
+//! 0x0008  STATUS      (ro)  bit0 = engines busy (commands pending)
+//! 0x0010  FENCE       (ro)  completed-command counter
+//! 0x0018  ERROR       (rw)  last command error code (write 0 to clear)
+//! 0x0020  APERTURE    (rw)  VRAM offset the BAR1 window exposes
+//! 0x0028  DOORBELL    (wo)  write = length of the staged command
+//! 0x0030  CTX_SWITCH  (ro)  context-switch counter (diagnostics)
+//! 0x0038  VRAM_SIZE   (ro)  VRAM capacity in bytes
+//! 0x1000  CMD_WINDOW  (wo)  staging area for one serialized command
+//! 0x2000  RESP        (ro)  response buffer (DH values)
+//! ```
+
+/// Device identification magic ("HIXGPU\0\0" little-endian-ish).
+pub const GPU_MAGIC: u64 = 0x4855_5047_5849_4800;
+
+/// Register offsets in BAR0.
+pub mod bar0 {
+    /// Identification magic.
+    pub const ID: u64 = 0x0000;
+    /// Engine status (bit0 = busy).
+    pub const STATUS: u64 = 0x0008;
+    /// Completed-command fence counter.
+    pub const FENCE: u64 = 0x0010;
+    /// Last error code (0 = none).
+    pub const ERROR: u64 = 0x0018;
+    /// BAR1 aperture base (VRAM offset).
+    pub const APERTURE: u64 = 0x0020;
+    /// Command doorbell (write the staged length).
+    pub const DOORBELL: u64 = 0x0028;
+    /// Context-switch counter.
+    pub const CTX_SWITCH: u64 = 0x0030;
+    /// VRAM capacity.
+    pub const VRAM_SIZE: u64 = 0x0038;
+    /// Faulting device-virtual address of the last PAGE_FAULT.
+    pub const FAULT_ADDR: u64 = 0x0040;
+    /// Context id of the last PAGE_FAULT.
+    pub const FAULT_CTX: u64 = 0x0048;
+    /// Command staging window.
+    pub const CMD_WINDOW: u64 = 0x1000;
+    /// Size of the staging window.
+    pub const CMD_WINDOW_LEN: u64 = 0x1000;
+    /// Response buffer.
+    pub const RESP: u64 = 0x2000;
+    /// Size of the response buffer.
+    pub const RESP_LEN: u64 = 0x200;
+}
+
+/// Error codes surfaced through `bar0::ERROR`.
+pub mod errcode {
+    /// No error.
+    pub const NONE: u32 = 0;
+    /// Malformed command submission.
+    pub const DECODE: u32 = 1;
+    /// Unknown context.
+    pub const NO_CTX: u32 = 2;
+    /// GPU page fault.
+    pub const FAULT: u32 = 3;
+    /// Unknown kernel handle.
+    pub const NO_KERNEL: u32 = 4;
+    /// DMA fault (IOMMU denied or bad host address).
+    pub const DMA: u32 = 5;
+    /// In-GPU authenticated-decryption integrity failure.
+    pub const INTEGRITY: u32 = 6;
+    /// Bad kernel arguments.
+    pub const BAD_ARGS: u32 = 7;
+    /// Context already exists / duplicate creation.
+    pub const CTX_EXISTS: u32 = 8;
+    /// Key agreement not completed for a crypto operation.
+    pub const NO_KEY: u32 = 9;
+    /// Recoverable page fault (demand paging extension): the faulting
+    /// address is in `bar0::FAULT_ADDR`; re-submit after mapping.
+    pub const PAGE_FAULT: u32 = 10;
+}

@@ -1,0 +1,211 @@
+//! Device memory (VRAM), sparsely materialized.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// GPU page size (matches the host's 4 KiB granularity).
+pub const GPU_PAGE_SIZE: u64 = 4096;
+
+/// A device-virtual address (what kernels and the driver API use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DevAddr(pub u64);
+
+impl DevAddr {
+    /// Raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Device-virtual page number.
+    pub const fn vpn(self) -> u64 {
+        self.0 / GPU_PAGE_SIZE
+    }
+
+    /// Offset within the page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % GPU_PAGE_SIZE
+    }
+
+    /// This address offset by `delta` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn offset(self, delta: u64) -> Self {
+        DevAddr(self.0.checked_add(delta).expect("device address overflow"))
+    }
+}
+
+impl fmt::Display for DevAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev:{:#010x}", self.0)
+    }
+}
+
+/// Device-physical VRAM.
+pub struct Vram {
+    pages: BTreeMap<u64, Box<[u8; GPU_PAGE_SIZE as usize]>>,
+    size: u64,
+}
+
+impl fmt::Debug for Vram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vram")
+            .field("size", &self.size)
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl Vram {
+    /// Creates VRAM of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is page-aligned and nonzero.
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0 && size.is_multiple_of(GPU_PAGE_SIZE), "VRAM size must be page-aligned");
+        Vram {
+            pages: BTreeMap::new(),
+            size,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Reads device-physical memory (zero-fill for untouched pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds capacity (device model bug).
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        assert!(
+            addr.checked_add(buf.len() as u64).is_some_and(|e| e <= self.size),
+            "VRAM read out of range"
+        );
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let ppn = a / GPU_PAGE_SIZE;
+            let po = (a % GPU_PAGE_SIZE) as usize;
+            let take = (GPU_PAGE_SIZE as usize - po).min(buf.len() - off);
+            match self.pages.get(&ppn) {
+                Some(p) => buf[off..off + take].copy_from_slice(&p[po..po + take]),
+                None => buf[off..off + take].fill(0),
+            }
+            off += take;
+        }
+    }
+
+    /// Writes device-physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds capacity.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        assert!(
+            addr.checked_add(data.len() as u64).is_some_and(|e| e <= self.size),
+            "VRAM write out of range"
+        );
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let ppn = a / GPU_PAGE_SIZE;
+            let po = (a % GPU_PAGE_SIZE) as usize;
+            let take = (GPU_PAGE_SIZE as usize - po).min(data.len() - off);
+            let page = self
+                .pages
+                .entry(ppn)
+                .or_insert_with(|| Box::new([0u8; GPU_PAGE_SIZE as usize]));
+            page[po..po + take].copy_from_slice(&data[off..off + take]);
+            off += take;
+        }
+    }
+
+    /// Fills a range with `value`.
+    pub fn fill(&mut self, addr: u64, len: u64, value: u8) {
+        // Page-wise to keep sparsity for whole-page zero fills.
+        let mut off = 0u64;
+        while off < len {
+            let a = addr + off;
+            let ppn = a / GPU_PAGE_SIZE;
+            let po = a % GPU_PAGE_SIZE;
+            let take = (GPU_PAGE_SIZE - po).min(len - off);
+            if value == 0 && po == 0 && take == GPU_PAGE_SIZE {
+                self.pages.remove(&ppn); // unmaterialized pages read zero
+            } else {
+                let page = self
+                    .pages
+                    .entry(ppn)
+                    .or_insert_with(|| Box::new([0u8; GPU_PAGE_SIZE as usize]));
+                page[po as usize..(po + take) as usize].fill(value);
+            }
+            off += take;
+        }
+    }
+
+    /// Clears everything (device reset / cold boot).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Materialized page count (diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut v = Vram::new(1 << 20);
+        v.write(GPU_PAGE_SIZE - 2, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        v.read(GPU_PAGE_SIZE - 2, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn untouched_reads_zero() {
+        let v = Vram::new(1 << 20);
+        let mut buf = [9u8; 8];
+        v.read(0x1234, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn fill_and_sparse_zero() {
+        let mut v = Vram::new(1 << 20);
+        v.write(0, &[0xaa; 8192]);
+        assert_eq!(v.resident_pages(), 2);
+        v.fill(0, 8192, 0);
+        assert_eq!(v.resident_pages(), 0, "zero fill de-materializes pages");
+        v.fill(100, 10, 0x55);
+        let mut buf = [0u8; 12];
+        v.read(99, &mut buf);
+        assert_eq!(buf[0], 0);
+        assert_eq!(&buf[1..11], &[0x55; 10]);
+        assert_eq!(buf[11], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_write_panics() {
+        Vram::new(1 << 20).write((1 << 20) - 1, &[0, 0]);
+    }
+
+    #[test]
+    fn dev_addr_helpers() {
+        let a = DevAddr(0x12345);
+        assert_eq!(a.vpn(), 0x12);
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.offset(0xbb).value(), 0x12400);
+        assert_eq!(a.to_string(), "dev:0x00012345");
+    }
+}

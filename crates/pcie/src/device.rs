@@ -1,0 +1,80 @@
+//! The device-side traits the fabric plugs into.
+
+use std::any::Any;
+
+use crate::addr::PhysAddr;
+use crate::config::{BarIndex, ConfigSpace};
+
+/// Host-memory access for bus-mastering devices (DMA).
+///
+/// The platform implements this over its DRAM + IOMMU model; a malicious
+/// OS controls the IOMMU tables, which is exactly the §4.3.3 attack HIX
+/// answers with authenticated encryption rather than trust.
+pub trait DmaBus {
+    /// Reads `buf.len()` bytes of host memory at bus address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(DmaFault)` on an unmapped or out-of-range address.
+    fn dma_read(&mut self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), DmaFault>;
+
+    /// Writes `data` to host memory at bus address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(DmaFault)` on an unmapped or out-of-range address.
+    fn dma_write(&mut self, addr: PhysAddr, data: &[u8]) -> Result<(), DmaFault>;
+}
+
+/// A failed DMA access (IOMMU fault or out-of-range address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaFault {
+    /// The faulting bus address.
+    pub addr: PhysAddr,
+}
+
+impl std::fmt::Display for DmaFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DMA fault at {}", self.addr)
+    }
+}
+
+impl std::error::Error for DmaFault {}
+
+/// A PCIe endpoint function.
+///
+/// Implementors expose a config space and BAR-relative MMIO; bus-mastering
+/// devices additionally act when [`PcieDevice::tick`] is called with a DMA
+/// port.
+pub trait PcieDevice: Any {
+    /// The device's configuration space.
+    fn config(&self) -> &ConfigSpace;
+
+    /// Mutable configuration space (the fabric routes config TLPs here).
+    fn config_mut(&mut self) -> &mut ConfigSpace;
+
+    /// Handles an MMIO read of `buf.len()` bytes at `offset` into BAR
+    /// `bar`.
+    fn mmio_read(&mut self, bar: BarIndex, offset: u64, buf: &mut [u8]);
+
+    /// Handles an MMIO write of `data` at `offset` into BAR `bar`.
+    fn mmio_write(&mut self, bar: BarIndex, offset: u64, data: &[u8]);
+
+    /// The expansion ROM image, if the device carries one.
+    fn expansion_rom(&self) -> Option<&[u8]> {
+        None
+    }
+
+    /// Full function-level reset (clears volatile device state; config
+    /// space survives as after-boot firmware left it).
+    fn reset(&mut self);
+
+    /// Gives the device a chance to make forward progress (drain command
+    /// queues, run DMA). Returns `true` if any work was performed.
+    fn tick(&mut self, _dma: &mut dyn DmaBus) -> bool {
+        false
+    }
+
+    /// Downcasting support so the platform can reach device-specific APIs.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,37 @@
+//! # hix-pcie — PCI Express fabric model with the HIX MMIO lockdown
+//!
+//! A functional model of the PCIe pieces HIX's security argument rests on
+//! (§2.2, §4.3.2 of the paper):
+//!
+//! * per-device **configuration space** with Base Address Registers
+//!   (including the all-ones sizing protocol), expansion-ROM BAR, and
+//!   type-1 bridge registers (bus numbers, memory windows) — [`config`];
+//! * a **root complex** that routes memory transactions down a tree of
+//!   root ports to endpoint BARs, and routes configuration transactions by
+//!   bus/device/function — [`fabric`];
+//! * the HIX **MMIO lockdown**: once engaged for a device, the root
+//!   complex discards every configuration write that could remap or
+//!   reroute the path to that device ([`fabric::PcieFabric::lockdown`]).
+//!
+//! The fabric is driven by the platform crate: CPU MMIO accesses arrive as
+//! routed memory transactions, and devices perform DMA through a
+//! [`device::DmaBus`] handle the platform provides.
+//!
+//! ```
+//! use hix_pcie::{addr::Bdf, fabric::PcieFabric};
+//!
+//! let fabric = PcieFabric::new();
+//! assert!(fabric.route_mem(hix_pcie::addr::PhysAddr::new(0xdead_beef)).is_none());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod device;
+pub mod fabric;
+
+pub use addr::{Bdf, PhysAddr};
+pub use config::{BarIndex, ConfigSpace};
+pub use device::{DmaBus, PcieDevice};
+pub use fabric::{PcieError, PcieFabric};

@@ -1,0 +1,226 @@
+//! Event tracing for debugging and per-category time accounting.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::Nanos;
+
+/// Category of a traced event, used for accounting (e.g. "how much of the
+/// execution went to enclave crypto vs PCIe transfer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// MMIO register access through the trusted or untrusted path.
+    Mmio,
+    /// Bulk DMA transfer over PCIe.
+    Dma,
+    /// Cryptographic work in a CPU enclave.
+    EnclaveCrypto,
+    /// Cryptographic kernel executing on the GPU.
+    GpuCrypto,
+    /// Application GPU kernel execution.
+    Kernel,
+    /// GPU context switch.
+    CtxSwitch,
+    /// Inter-enclave IPC (message queue + shared memory).
+    Ipc,
+    /// Task/session initialization.
+    Init,
+    /// Attestation and key agreement.
+    Attestation,
+    /// Security-relevant control event (lockdown engaged, access denied…).
+    Security,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Mmio => "mmio",
+            EventKind::Dma => "dma",
+            EventKind::EnclaveCrypto => "enclave-crypto",
+            EventKind::GpuCrypto => "gpu-crypto",
+            EventKind::Kernel => "kernel",
+            EventKind::CtxSwitch => "ctx-switch",
+            EventKind::Ipc => "ipc",
+            EventKind::Init => "init",
+            EventKind::Attestation => "attestation",
+            EventKind::Security => "security",
+            EventKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time at which the event completed.
+    pub at: Nanos,
+    /// Duration charged for the event.
+    pub duration: Nanos,
+    /// Category.
+    pub kind: EventKind,
+    /// Human-readable detail (kept short; interned labels preferred).
+    pub label: String,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<Event>,
+    recording: bool,
+    totals: Vec<(EventKind, Nanos, u64)>,
+}
+
+/// A shared, cheaply clonable event trace.
+///
+/// Recording of full events is off by default (accounting totals are always
+/// kept); enable with [`Trace::set_recording`] when debugging.
+///
+/// ```
+/// use hix_sim::{Trace, Nanos, EventKind};
+/// let t = Trace::new();
+/// t.emit(Nanos::from_micros(1), Nanos::from_micros(1), EventKind::Dma, "HtoD");
+/// assert_eq!(t.total(EventKind::Dma), Nanos::from_micros(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    inner: Rc<RefCell<TraceInner>>,
+}
+
+impl Trace {
+    /// Creates an empty trace with recording disabled.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Enables or disables full event recording.
+    pub fn set_recording(&self, on: bool) {
+        self.inner.borrow_mut().recording = on;
+    }
+
+    /// Emits an event completing at `at` with the given `duration`.
+    pub fn emit(&self, at: Nanos, duration: Nanos, kind: EventKind, label: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.totals.iter_mut().find(|(k, _, _)| *k == kind) {
+            Some((_, total, count)) => {
+                *total += duration;
+                *count += 1;
+            }
+            None => inner.totals.push((kind, duration, 1)),
+        }
+        if inner.recording {
+            let label = label.into();
+            inner.events.push(Event {
+                at,
+                duration,
+                kind,
+                label,
+            });
+        }
+    }
+
+    /// Total time charged to `kind` so far.
+    pub fn total(&self, kind: EventKind) -> Nanos {
+        self.inner
+            .borrow()
+            .totals
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, t, _)| *t)
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Number of events charged to `kind` so far.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.inner
+            .borrow()
+            .totals
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, _, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of recorded events (empty unless recording was enabled).
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Clears events and totals.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.events.clear();
+        inner.totals.clear();
+    }
+
+    /// Renders an accounting summary sorted by descending total time.
+    pub fn summary(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut rows = inner.totals.clone();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let mut out = String::new();
+        for (kind, total, count) in rows {
+            out.push_str(&format!("{kind:>16}: {total} ({count} events)\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_without_recording() {
+        let t = Trace::new();
+        t.emit(Nanos::ZERO, Nanos::from_nanos(10), EventKind::Mmio, "w");
+        t.emit(Nanos::ZERO, Nanos::from_nanos(5), EventKind::Mmio, "w");
+        t.emit(Nanos::ZERO, Nanos::from_nanos(7), EventKind::Dma, "d");
+        assert_eq!(t.total(EventKind::Mmio).as_nanos(), 15);
+        assert_eq!(t.count(EventKind::Mmio), 2);
+        assert_eq!(t.total(EventKind::Dma).as_nanos(), 7);
+        assert_eq!(t.total(EventKind::Kernel), Nanos::ZERO);
+        assert!(t.events().is_empty(), "recording is off by default");
+    }
+
+    #[test]
+    fn recording_captures_events() {
+        let t = Trace::new();
+        t.set_recording(true);
+        t.emit(Nanos::from_nanos(1), Nanos::from_nanos(2), EventKind::Ipc, "req");
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].label, "req");
+        assert_eq!(evs[0].kind, EventKind::Ipc);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Trace::new();
+        t.emit(Nanos::ZERO, Nanos::from_nanos(1), EventKind::Other, "x");
+        t.clear();
+        assert_eq!(t.total(EventKind::Other), Nanos::ZERO);
+        assert_eq!(t.count(EventKind::Other), 0);
+    }
+
+    #[test]
+    fn summary_lists_categories() {
+        let t = Trace::new();
+        t.emit(Nanos::ZERO, Nanos::from_micros(3), EventKind::Kernel, "k");
+        t.emit(Nanos::ZERO, Nanos::from_micros(9), EventKind::Dma, "d");
+        let s = t.summary();
+        let dma_pos = s.find("dma").unwrap();
+        let k_pos = s.find("kernel").unwrap();
+        assert!(dma_pos < k_pos, "sorted by descending total: {s}");
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let a = Trace::new();
+        let b = a.clone();
+        a.emit(Nanos::ZERO, Nanos::from_nanos(4), EventKind::Init, "i");
+        assert_eq!(b.total(EventKind::Init).as_nanos(), 4);
+    }
+}

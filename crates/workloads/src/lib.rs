@@ -1,0 +1,148 @@
+//! # hix-workloads — the paper's benchmark workloads
+//!
+//! Functional Rust ports of everything §5.3 measures:
+//!
+//! * [`matrix`] — the integer matrix add/multiply microbenchmarks of
+//!   Fig. 6 and Table 4.
+//! * [`rodinia`] — the nine Rodinia applications of Table 5/Fig. 7:
+//!   Back Propagation, BFS, Gaussian Elimination, Hotspot, LU
+//!   Decomposition, Needleman–Wunsch, k-Nearest Neighbors, Pathfinder,
+//!   and SRAD.
+//!
+//! Each workload provides:
+//!
+//! * GPU kernels (functional compute + a calibrated GTX 580-class cost
+//!   model — the per-kernel throughput constants are documented where
+//!   they are defined);
+//! * a CPU reference implementation, asserted against in tests;
+//! * a [`Workload::run`] driver that executes the app end-to-end over
+//!   any [`GpuExecutor`] (the insecure Gdev baseline or a HIX session —
+//!   the same code, which is the paper's portability claim for its
+//!   CUDA-shaped API);
+//! * its paper-scale [`profile`](Workload::profile) (exact Table 5
+//!   transfer bytes, launch counts, and modeled kernel time) feeding the
+//!   figure harnesses.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod matrix;
+pub mod rodinia;
+
+pub use exec::{ExecError, GdevExec, GpuExecutor, HixExec, RunStats};
+
+use hix_gpu::GpuKernel;
+use hix_sim::{CostModel, Nanos};
+
+/// Paper-scale transfer/compute profile of a workload (Table 5 for
+/// Rodinia, Table 4 for the matrices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Short name used in the figures (BP, BFS, …).
+    pub abbrev: &'static str,
+    /// Host-to-device bytes.
+    pub htod: u64,
+    /// Device-to-host bytes.
+    pub dtoh: u64,
+    /// Kernel launches at paper scale.
+    pub launches: u64,
+    /// Total modeled GPU compute time at paper scale.
+    pub kernel_time: Nanos,
+}
+
+impl Profile {
+    /// Converts to the multi-user scheduler's task description.
+    pub fn task_spec(&self) -> hix_core::multiuser::TaskSpec {
+        hix_core::multiuser::TaskSpec {
+            name: self.abbrev.to_string(),
+            htod: self.htod,
+            dtoh: self.dtoh,
+            kernel_time: self.kernel_time,
+            launches: self.launches,
+        }
+    }
+}
+
+/// A runnable benchmark workload.
+pub trait Workload {
+    /// Full name.
+    fn name(&self) -> &'static str;
+
+    /// The GPU kernels to install on the device.
+    fn kernels(&self) -> Vec<Box<dyn GpuKernel>>;
+
+    /// Paper-scale profile (Table 4/5 sizes, calibrated compute).
+    fn profile(&self, model: &CostModel) -> Profile;
+
+    /// Runs the workload end-to-end at problem size `n` over `exec`,
+    /// verifying GPU results against the CPU reference when the executor
+    /// is functional.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures; verification failures are
+    /// [`ExecError::Verify`].
+    fn run(
+        &self,
+        machine: &mut hix_platform::Machine,
+        exec: &mut dyn GpuExecutor,
+        n: usize,
+    ) -> Result<RunStats, ExecError>;
+
+    /// A problem size small enough for functional testing.
+    fn test_size(&self) -> usize;
+
+    /// The paper's problem size.
+    fn paper_size(&self) -> usize;
+
+    /// Whether the Gdev baseline of this workload uses pageable copies
+    /// (naive `cudaMemcpy`) rather than Gdev's direct I/O. The matrix
+    /// microbenchmarks do; the Gdev-tuned Rodinia ports do not.
+    fn gdev_pageable(&self) -> bool {
+        false
+    }
+
+    /// Runs the workload at paper scale with synthetic payloads (the
+    /// figure harness path). Transfer byte counts and modeled kernel
+    /// time follow the profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor failures.
+    fn run_synthetic(
+        &self,
+        machine: &mut hix_platform::Machine,
+        exec: &mut dyn GpuExecutor,
+        model: &CostModel,
+    ) -> Result<RunStats, ExecError> {
+        exec::run_profile(machine, exec, &self.profile(model))
+    }
+}
+
+/// All nine Rodinia workloads, in the paper's Table 5 order.
+pub fn rodinia_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(rodinia::bp::BackProp),
+        Box::new(rodinia::bfs::Bfs),
+        Box::new(rodinia::gaussian::Gaussian),
+        Box::new(rodinia::hotspot::Hotspot),
+        Box::new(rodinia::lud::Lud),
+        Box::new(rodinia::nw::NeedlemanWunsch),
+        Box::new(rodinia::nn::NearestNeighbor),
+        Box::new(rodinia::pathfinder::Pathfinder),
+        Box::new(rodinia::srad::Srad),
+    ]
+}
+
+/// Every kernel from every workload plus the synthetic profile kernel
+/// (for rig construction).
+pub fn all_kernels() -> Vec<Box<dyn GpuKernel>> {
+    let mut out: Vec<Box<dyn GpuKernel>> = Vec::new();
+    out.push(Box::new(exec::ProfileKernel));
+    out.extend(matrix::MatrixAdd.kernels());
+    out.extend(matrix::MatrixMul.kernels());
+    for w in rodinia_suite() {
+        out.extend(w.kernels());
+    }
+    out
+}

@@ -1,0 +1,73 @@
+//! The nine Rodinia applications of Table 5.
+//!
+//! Each module ports one app: a GPU kernel set (functional compute plus a
+//! calibrated GTX 580-class cost model), a CPU reference, and the
+//! end-to-end driver over [`GpuExecutor`](crate::GpuExecutor). The
+//! paper-scale profiles reproduce Table 5's transfer byte counts exactly;
+//! per-kernel throughput constants are documented where defined and were
+//! calibrated so Fig. 7's per-app overheads hold (see EXPERIMENTS.md).
+
+pub mod bfs;
+pub mod bp;
+pub mod gaussian;
+pub mod hotspot;
+pub mod lud;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;
+pub mod srad;
+
+/// One binary mebibyte.
+pub const MB: f64 = (1u64 << 20) as f64;
+
+/// One binary kibibyte.
+pub const KB: f64 = 1024.0;
+
+/// Converts a Table 5 "x.y MB"-style figure to exact bytes.
+pub fn mb(v: f64) -> u64 {
+    (v * MB).round() as u64
+}
+
+/// Converts a Table 5 KB figure to bytes.
+pub fn kb(v: f64) -> u64 {
+    (v * KB).round() as u64
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::exec::{GdevExec, HixExec};
+    use crate::{all_kernels, Workload};
+    use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+    use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
+    use hix_driver::Gdev;
+    use hix_platform::Machine;
+
+    fn rig() -> Machine {
+        standard_rig(RigOptions {
+            kernels: all_kernels(),
+            ..Default::default()
+        })
+    }
+
+    /// Runs `w` functionally at test size on the Gdev baseline; the
+    /// workload verifies its own outputs against the CPU reference.
+    pub fn run_on_gdev(w: &dyn Workload) {
+        let mut m = rig();
+        let pid = m.create_process();
+        let mut gdev = Gdev::open(&mut m, pid, GPU_BDF).unwrap();
+        let mut exec = GdevExec::new(&mut gdev);
+        let stats = w.run(&mut m, &mut exec, w.test_size()).unwrap();
+        assert!(stats.launches > 0);
+        assert!(stats.htod_bytes > 0);
+    }
+
+    /// Runs `w` functionally at test size over a full HIX session.
+    pub fn run_on_hix(w: &dyn Workload) {
+        let mut m = rig();
+        let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        let mut session = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let mut exec = HixExec::new(&mut session, &mut enclave);
+        let stats = w.run(&mut m, &mut exec, w.test_size()).unwrap();
+        assert!(stats.launches > 0);
+    }
+}

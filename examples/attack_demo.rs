@@ -1,0 +1,28 @@
+//! Attack demo: play the privileged adversary of the paper's threat
+//! model (§3) and watch each HIX defense fire.
+//!
+//! ```sh
+//! cargo run -p hix-bench --example attack_demo
+//! ```
+
+use hix_attacks::{run_all, Verdict};
+
+fn main() {
+    println!("You are the OS. You control page tables, the IOMMU, PCIe");
+    println!("config space, scheduling, and raw DRAM. The tenant's data is");
+    println!("on the GPU behind HIX. Try everything:\n");
+    for report in run_all() {
+        let point = if report.figure_point == 0 {
+            "extra".to_string()
+        } else {
+            format!("fig10-{}", report.figure_point)
+        };
+        println!("[{point}] {}", report.name);
+        println!("    attack : {}", report.attack);
+        match report.verdict {
+            Verdict::Blocked { mechanism } => println!("    result : BLOCKED — {mechanism}\n"),
+            Verdict::Breached { detail } => println!("    result : BREACHED — {detail}\n"),
+        }
+    }
+    println!("(every scenario is also an assertion in `cargo test -p hix-attacks`)");
+}

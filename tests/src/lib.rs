@@ -1,0 +1,3 @@
+//! Integration test host crate; see tests/.
+
+#![warn(missing_docs)]

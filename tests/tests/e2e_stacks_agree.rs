@@ -1,0 +1,81 @@
+//! End-to-end: every workload runs functionally on both stacks — the
+//! insecure Gdev baseline and the full HIX stack (enclave, attestation,
+//! sealed transfers, in-GPU crypto) — and each verifies its GPU results
+//! against its CPU reference. Also checks the coarse timing invariants
+//! the figures rely on.
+
+use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
+use hix_driver::Gdev;
+use hix_platform::Machine;
+use hix_sim::Nanos;
+use hix_workloads::exec::{GdevExec, HixExec};
+use hix_workloads::matrix::{MatrixAdd, MatrixMul};
+use hix_workloads::{all_kernels, rodinia_suite, Workload};
+
+fn rig() -> Machine {
+    standard_rig(RigOptions {
+        kernels: all_kernels(),
+        ..RigOptions::default()
+    })
+}
+
+fn run_both(w: &dyn Workload) -> (Nanos, Nanos) {
+    // Gdev.
+    let mut m = rig();
+    let pid = m.create_process();
+    let mut gdev = Gdev::open(&mut m, pid, GPU_BDF).expect("open");
+    let t0 = m.clock().now();
+    let g_stats = w
+        .run(&mut m, &mut GdevExec::new(&mut gdev), w.test_size())
+        .unwrap_or_else(|e| panic!("{} on gdev: {e}", w.name()));
+    let gdev_time = m.clock().now() - t0;
+
+    // HIX.
+    let mut m = rig();
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).expect("enclave");
+    let mut session = HixSession::connect(&mut m, &mut enclave).expect("session");
+    let t0 = m.clock().now();
+    let h_stats = w
+        .run(
+            &mut m,
+            &mut HixExec::new(&mut session, &mut enclave),
+            w.test_size(),
+        )
+        .unwrap_or_else(|e| panic!("{} on hix: {e}", w.name()));
+    let hix_time = m.clock().now() - t0;
+
+    // The two stacks executed the same logical workload.
+    assert_eq!(g_stats.htod_bytes, h_stats.htod_bytes, "{}", w.name());
+    assert_eq!(g_stats.dtoh_bytes, h_stats.dtoh_bytes, "{}", w.name());
+    assert_eq!(g_stats.launches, h_stats.launches, "{}", w.name());
+    (gdev_time, hix_time)
+}
+
+#[test]
+fn all_rodinia_apps_agree_across_stacks() {
+    for w in rodinia_suite() {
+        let (g, h) = run_both(w.as_ref());
+        assert!(g > Nanos::ZERO && h > Nanos::ZERO, "{}", w.name());
+    }
+}
+
+#[test]
+fn matrix_microbenchmarks_agree_across_stacks() {
+    run_both(&MatrixAdd);
+    run_both(&MatrixMul);
+}
+
+#[test]
+fn secure_stack_never_free_for_transfer_heavy_work() {
+    // At test scale with the real clock, a transfer-dominated workload
+    // must cost more under HIX than the (post-init) Gdev baseline:
+    // compare times *excluding* task init by subtracting the init gap.
+    let model = hix_sim::CostModel::paper();
+    let init_gap = model.task_init_gdev - model.task_init_hix;
+    let (g, h) = run_both(&MatrixAdd);
+    assert!(
+        h + init_gap > g,
+        "HIX ({h}) + init gap ({init_gap}) must exceed Gdev ({g})"
+    );
+}

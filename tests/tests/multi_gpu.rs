@@ -1,0 +1,129 @@
+//! Multi-GPU (no peer-to-peer, §5.6/§7): each GPU is owned by its own
+//! GPU enclave; ownership, lockdown, and sessions are independent.
+
+use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_crypto::sha256;
+use hix_driver::rig::{standard_rig, RigOptions, GPU2_BDF, GPU_BDF};
+use hix_gpu::device::{build_bios, GpuConfig};
+use hix_platform::hix::HixError;
+use hix_core::HixCoreError;
+use hix_sim::Payload;
+
+fn two_gpu_rig() -> hix_platform::Machine {
+    standard_rig(RigOptions {
+        second_gpu: true,
+        ..RigOptions::default()
+    })
+}
+
+fn gpu2_options() -> GpuEnclaveOptions {
+    GpuEnclaveOptions {
+        bdf: GPU2_BDF,
+        // The second GPU carries a different (but genuine) BIOS.
+        expected_bios: Some(sha256::digest(&build_bios(
+            GpuConfig::default().seed.wrapping_add(1),
+        ))),
+        seed: b"gpu-enclave-2".to_vec(),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn each_gpu_gets_its_own_enclave() {
+    let mut m = two_gpu_rig();
+    let enclave1 = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let enclave2 = GpuEnclave::launch(&mut m, gpu2_options()).unwrap();
+    assert_eq!(enclave1.bdf(), GPU_BDF);
+    assert_eq!(enclave2.bdf(), GPU2_BDF);
+    assert!(m.hix_state().gecs(GPU_BDF).is_some());
+    assert!(m.hix_state().gecs(GPU2_BDF).is_some());
+}
+
+#[test]
+fn one_enclave_cannot_own_two_gpus() {
+    // §4.2.1: "no GPU is registered to two GPU enclaves at the same
+    // time" — and the reproduction also enforces one GPU per enclave.
+    let mut m = two_gpu_rig();
+    let enclave1 = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let err = m.egcreate(enclave1.pid(), GPU2_BDF);
+    assert!(matches!(err, Err(HixError::OwnerBusy(_))));
+}
+
+#[test]
+fn wrong_bios_pin_rejects_second_gpu() {
+    let mut m = two_gpu_rig();
+    // Pin GPU1's BIOS while binding GPU2: must be refused.
+    let err = GpuEnclave::launch(
+        &mut m,
+        GpuEnclaveOptions {
+            bdf: GPU2_BDF,
+            expected_bios: None, // default = GPU1's digest
+            seed: b"x".to_vec(),
+            ..Default::default()
+        },
+    );
+    assert!(matches!(err, Err(HixCoreError::BiosMismatch)));
+    // With the right pin it works.
+    GpuEnclave::launch(&mut m, gpu2_options()).unwrap();
+}
+
+#[test]
+fn sessions_on_both_gpus_roundtrip_independently() {
+    let mut m = two_gpu_rig();
+    let mut enclave1 = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let mut enclave2 = GpuEnclave::launch(&mut m, gpu2_options()).unwrap();
+    let mut s1 = HixSession::connect_with(&mut m, &mut enclave1, 1 << 20, b"u1").unwrap();
+    let mut s2 = HixSession::connect_with(&mut m, &mut enclave2, 1 << 20, b"u2").unwrap();
+    let d1 = s1.malloc(&mut m, &mut enclave1, 4096).unwrap();
+    let d2 = s2.malloc(&mut m, &mut enclave2, 4096).unwrap();
+    s1.memcpy_htod(&mut m, &mut enclave1, d1, &Payload::from_bytes(vec![0xA1; 4096]))
+        .unwrap();
+    s2.memcpy_htod(&mut m, &mut enclave2, d2, &Payload::from_bytes(vec![0xB2; 4096]))
+        .unwrap();
+    assert!(s1
+        .memcpy_dtoh(&mut m, &mut enclave1, d1, 4096)
+        .unwrap()
+        .bytes()
+        .iter()
+        .all(|&b| b == 0xA1));
+    assert!(s2
+        .memcpy_dtoh(&mut m, &mut enclave2, d2, 4096)
+        .unwrap()
+        .bytes()
+        .iter()
+        .all(|&b| b == 0xB2));
+}
+
+#[test]
+fn shared_root_port_stays_locked_until_both_release() {
+    use hix_driver::rig::PORT_BDF;
+    use hix_pcie::config::offsets;
+    let mut m = two_gpu_rig();
+    let enclave1 = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let enclave2 = GpuEnclave::launch(&mut m, gpu2_options()).unwrap();
+    // One enclave releases; the port must stay locked for the other.
+    enclave1.shutdown(&mut m).unwrap();
+    assert!(
+        m.config_write(PORT_BDF, offsets::MEMORY_WINDOW, 0).is_err(),
+        "port still on a locked path (GPU2)"
+    );
+    // GPU1's own registers are writable again though.
+    m.config_write(GPU_BDF, offsets::BAR0, 0xc000_0000).unwrap();
+    // After the second release everything unlocks.
+    enclave2.shutdown(&mut m).unwrap();
+    m.config_write(PORT_BDF, offsets::MEMORY_WINDOW, 0xfff0_0000)
+        .unwrap();
+}
+
+#[test]
+fn termination_notice_reaches_user_sessions() {
+    let mut m = two_gpu_rig();
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let s = HixSession::connect(&mut m, &mut enclave).unwrap();
+    assert!(!s.enclave_terminated(&mut m).unwrap());
+    enclave.shutdown(&mut m).unwrap();
+    assert!(
+        s.enclave_terminated(&mut m).unwrap(),
+        "§4.2.3: user enclaves are notified of graceful termination"
+    );
+}

@@ -1,0 +1,65 @@
+//! The event trace must attribute virtual time to the right categories
+//! during a full secure run — the accounting behind the §5.3.1-style
+//! analyses.
+
+use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
+use hix_driver::Gdev;
+use hix_sim::{EventKind, Nanos, Payload};
+
+#[test]
+fn hix_run_charges_gpu_crypto_and_dma() {
+    let mut m = standard_rig(RigOptions::default());
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+    let dev = s.malloc(&mut m, &mut enclave, 1 << 20).unwrap();
+    m.trace().clear();
+    s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(vec![1; 1 << 20]))
+        .unwrap();
+    let _ = s.memcpy_dtoh(&mut m, &mut enclave, dev, 1 << 20).unwrap();
+    assert!(
+        m.trace().total(EventKind::GpuCrypto) > Nanos::ZERO,
+        "in-GPU crypto kernels must be accounted"
+    );
+    assert!(
+        m.trace().total(EventKind::Dma) > Nanos::ZERO,
+        "DMA wire time must be accounted"
+    );
+    assert!(m.trace().count(EventKind::Mmio) > 0, "MMIO traffic happened");
+    // The summary renders every active category.
+    let summary = m.trace().summary();
+    assert!(summary.contains("gpu-crypto"), "{summary}");
+    assert!(summary.contains("dma"), "{summary}");
+}
+
+#[test]
+fn gdev_run_charges_no_gpu_crypto() {
+    let mut m = standard_rig(RigOptions::default());
+    let pid = m.create_process();
+    let mut gdev = Gdev::open(&mut m, pid, GPU_BDF).unwrap();
+    let dev = gdev.malloc(&mut m, 1 << 20).unwrap();
+    m.trace().clear();
+    gdev.memcpy_htod(&mut m, dev, &Payload::from_bytes(vec![1; 1 << 20]))
+        .unwrap();
+    let _ = gdev.memcpy_dtoh(&mut m, dev, 1 << 20).unwrap();
+    assert_eq!(
+        m.trace().total(EventKind::GpuCrypto),
+        Nanos::ZERO,
+        "the insecure baseline runs no crypto kernels"
+    );
+    assert!(m.trace().total(EventKind::Dma) > Nanos::ZERO);
+}
+
+#[test]
+fn security_events_fire_on_lockdown_and_denials() {
+    let mut m = standard_rig(RigOptions::default());
+    m.trace().clear();
+    let _enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let after_launch = m.trace().count(EventKind::Security);
+    assert!(after_launch >= 2, "EGCREATE + lockdown + init events");
+    // A denied attacker access adds one more.
+    let attacker = m.create_process();
+    let va = hix_driver::driver::os_map_bar0(&mut m, attacker, GPU_BDF, 1);
+    let _ = m.read(attacker, va, &mut [0u8; 8]);
+    assert!(m.trace().count(EventKind::Security) > after_launch);
+}
