@@ -1,77 +1,67 @@
-//! Criterion: real throughput of the from-scratch crypto primitives
-//! (these numbers are wall-clock, not simulated — they justify the
-//! "functional plane" being usable in tests).
+//! Micro-benches (hix-testkit): real throughput of the from-scratch
+//! crypto primitives (these numbers are wall-clock, not simulated —
+//! they justify the "functional plane" being usable in tests).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hix_crypto::drbg::HmacDrbg;
 use hix_crypto::ocb::{Key, Nonce, Ocb};
 use hix_crypto::{aes::Aes128, sha256};
+use hix_testkit::bench::{black_box, Bench};
 
-fn bench_aes_block(c: &mut Criterion) {
+fn bench_aes_block() {
     let aes = Aes128::new(&[7u8; 16]);
-    c.bench_function("aes128/encrypt_block", |b| {
-        let mut block = [0x5au8; 16];
-        b.iter(|| {
-            block = aes.encrypt_block(block);
-            block
-        })
+    let mut block = [0x5au8; 16];
+    Bench::new("aes128/encrypt_block").run(|| {
+        block = aes.encrypt_block(black_box(block));
+        block
     });
 }
 
-fn bench_ocb_seal(c: &mut Criterion) {
+fn bench_ocb_seal() {
     let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
-    let mut group = c.benchmark_group("ocb/seal");
     for kib in [4u64, 64, 1024] {
         let data = vec![0xabu8; (kib * 1024) as usize];
-        group.throughput(Throughput::Bytes(kib * 1024));
-        group.bench_with_input(BenchmarkId::from_parameter(kib), &data, |b, data| {
-            let mut counter = 0u64;
-            b.iter(|| {
+        let mut counter = 0u64;
+        Bench::new(format!("ocb/seal/{kib}KiB"))
+            .throughput_bytes(kib * 1024)
+            .run(|| {
                 counter += 1;
-                ocb.seal(&Nonce::from_counter(counter), b"aad", data)
-            })
-        });
+                ocb.seal(&Nonce::from_counter(counter), b"aad", &data)
+            });
     }
-    group.finish();
 }
 
-fn bench_ocb_open(c: &mut Criterion) {
+fn bench_ocb_open() {
     let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
     let data = vec![0xabu8; 64 * 1024];
     let sealed = ocb.seal(&Nonce::from_counter(1), b"aad", &data);
-    c.bench_function("ocb/open/64KiB", |b| {
-        b.iter(|| ocb.open(&Nonce::from_counter(1), b"aad", &sealed).unwrap())
-    });
+    Bench::new("ocb/open/64KiB")
+        .throughput_bytes(64 * 1024)
+        .run(|| ocb.open(&Nonce::from_counter(1), b"aad", &sealed).unwrap());
 }
 
-fn bench_sha256(c: &mut Criterion) {
+fn bench_sha256() {
     let data = vec![0x11u8; 64 * 1024];
-    let mut group = c.benchmark_group("sha256");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("64KiB", |b| b.iter(|| sha256::digest(&data)));
-    group.finish();
+    Bench::new("sha256/64KiB")
+        .throughput_bytes(data.len() as u64)
+        .run(|| sha256::digest(&data));
 }
 
-fn bench_dh_handshake(c: &mut Criterion) {
+fn bench_dh_handshake() {
     use hix_crypto::dh::DhGroup;
     let group = DhGroup::sim();
-    c.bench_function("dh/sim-group-agreement", |b| {
-        let mut rng_a = HmacDrbg::new(b"a");
-        let mut rng_b = HmacDrbg::new(b"b");
-        b.iter(|| {
-            let a = group.generate(&mut rng_a);
-            let bk = group.generate(&mut rng_b);
-            group.agree(&a, &bk.public).unwrap()
-        })
+    let mut rng_a = HmacDrbg::new(b"a");
+    let mut rng_b = HmacDrbg::new(b"b");
+    Bench::new("dh/sim-group-agreement").run(|| {
+        let a = group.generate(&mut rng_a);
+        let bk = group.generate(&mut rng_b);
+        group.agree(&a, &bk.public).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_aes_block,
-    bench_ocb_seal,
-    bench_ocb_open,
-    bench_sha256,
-    bench_dh_handshake
-);
-criterion_main!(benches);
+fn main() {
+    bench_aes_block();
+    bench_ocb_seal();
+    bench_ocb_open();
+    bench_sha256();
+    bench_dh_handshake();
+}

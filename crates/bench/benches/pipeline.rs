@@ -1,13 +1,14 @@
-//! Criterion: the §4.4.2 design-choice ablations, evaluated on the cost
-//! model — single-copy pipelined transfers vs. the "naive design" (double
-//! copy + re-encryption), and the pipeline chunk-size sweep.
+//! Micro-benches (hix-testkit): the §4.4.2 design-choice ablations,
+//! evaluated on the cost model — single-copy pipelined transfers vs.
+//! the "naive design" (double copy + re-encryption), and the pipeline
+//! chunk-size sweep.
 //!
 //! Each iteration evaluates the closed-form modeled duration; the bench
 //! reports the (wall-clock) evaluation cost, while the *modeled* results
 //! are printed once at startup — the ablation data DESIGN.md calls out.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hix_sim::{CostModel, Nanos};
+use hix_testkit::bench::{black_box, Bench};
 
 fn print_ablation() {
     let base = CostModel::paper();
@@ -38,22 +39,17 @@ fn print_ablation() {
     println!();
 }
 
-fn bench_pipeline_eval(c: &mut Criterion) {
-    print_ablation();
+fn bench_pipeline_eval() {
     let model = CostModel::paper();
-    let mut group = c.benchmark_group("cost-model/hix_htod");
     for mb in [4u64, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(mb), &(mb << 20), |b, &bytes| {
-            b.iter(|| model.hix_htod(bytes))
-        });
+        let bytes = mb << 20;
+        Bench::new(format!("cost-model/hix_htod/{mb}MiB"))
+            .run(|| model.hix_htod(black_box(bytes)));
     }
-    group.finish();
-    c.bench_function("cost-model/naive_htod/128MiB", |b| {
-        b.iter(|| model.naive_htod(128 << 20))
-    });
+    Bench::new("cost-model/naive_htod/128MiB").run(|| model.naive_htod(128 << 20));
 }
 
-fn bench_multiuser_schedule(c: &mut Criterion) {
+fn bench_multiuser_schedule() {
     use hix_core::multiuser::{run_multiuser, Mode, TaskSpec};
     let model = CostModel::paper();
     let spec = TaskSpec {
@@ -63,10 +59,12 @@ fn bench_multiuser_schedule(c: &mut Criterion) {
         kernel_time: Nanos::from_millis(30),
         launches: 64,
     };
-    c.bench_function("multiuser/schedule-4-users", |b| {
-        b.iter(|| run_multiuser(&model, &spec, 4, Mode::Hix))
-    });
+    Bench::new("multiuser/schedule-4-users")
+        .run(|| run_multiuser(&model, &spec, 4, Mode::Hix));
 }
 
-criterion_group!(benches, bench_pipeline_eval, bench_multiuser_schedule);
-criterion_main!(benches);
+fn main() {
+    print_ablation();
+    bench_pipeline_eval();
+    bench_multiuser_schedule();
+}

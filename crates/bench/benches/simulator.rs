@@ -1,41 +1,40 @@
-//! Criterion: wall-clock cost of the simulator's hot paths — the routed
-//! MMIO access (page walk + EPCM/TGMR checks + fabric routing), the
-//! secure channel round trip, and a full secure transfer. These bound
-//! how large a functional experiment the simulator can carry.
+//! Micro-benches (hix-testkit): wall-clock cost of the simulator's hot
+//! paths — the routed MMIO access (page walk + EPCM/TGMR checks +
+//! fabric routing), the secure channel round trip, and a full secure
+//! transfer. These bound how large a functional experiment the
+//! simulator can carry.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
 use hix_driver::driver::os_map_bar0;
 use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
 use hix_gpu::regs::bar0;
 use hix_platform::Machine;
 use hix_sim::Payload;
+use hix_testkit::bench::Bench;
 
-fn bench_mmio_access(c: &mut Criterion) {
+fn bench_mmio_access() {
     let mut machine = standard_rig(RigOptions::default());
     let pid = machine.create_process();
     let va = os_map_bar0(&mut machine, pid, GPU_BDF, 4);
-    c.bench_function("machine/mmio_read_8B", |b| {
-        let mut buf = [0u8; 8];
-        b.iter(|| {
-            machine
-                .read(pid, va.offset(bar0::ID), &mut buf)
-                .expect("mapped");
-            buf
-        })
+    let mut buf = [0u8; 8];
+    Bench::new("machine/mmio_read_8B").run(|| {
+        machine
+            .read(pid, va.offset(bar0::ID), &mut buf)
+            .expect("mapped");
+        buf
     });
 }
 
-fn bench_dram_access(c: &mut Criterion) {
+fn bench_dram_access() {
     let mut machine = standard_rig(RigOptions::default());
     let pid = machine.create_process();
     let frame = machine.alloc_frames(1)[0];
     let va = hix_platform::VirtAddr::new(0x10_0000);
     machine.os_map(pid, va, frame, true);
-    c.bench_function("machine/dram_write_4KiB", |b| {
-        let data = vec![7u8; 4096];
-        b.iter(|| machine.write(pid, va, &data).expect("mapped"))
-    });
+    let data = vec![7u8; 4096];
+    Bench::new("machine/dram_write_4KiB")
+        .throughput_bytes(4096)
+        .run(|| machine.write(pid, va, &data).expect("mapped"));
 }
 
 fn secure_stack() -> (Machine, GpuEnclave, HixSession) {
@@ -45,44 +44,39 @@ fn secure_stack() -> (Machine, GpuEnclave, HixSession) {
     (machine, enclave, session)
 }
 
-fn bench_secure_transfer(c: &mut Criterion) {
+fn bench_secure_transfer() {
     let (mut machine, mut enclave, mut session) = secure_stack();
     let dev = session.malloc(&mut machine, &mut enclave, 64 << 10).unwrap();
     let payload = Payload::from_bytes(vec![0x42u8; 64 << 10]);
-    c.bench_function("hix/secure_htod_64KiB_functional", |b| {
-        b.iter(|| {
+    Bench::new("hix/secure_htod_64KiB_functional")
+        .throughput_bytes(64 << 10)
+        .run(|| {
             session
                 .memcpy_htod(&mut machine, &mut enclave, dev, &payload)
                 .expect("transfer")
-        })
+        });
+}
+
+fn bench_session_setup() {
+    let mut machine = standard_rig(RigOptions::default());
+    let mut enclave = GpuEnclave::launch(&mut machine, GpuEnclaveOptions::default()).unwrap();
+    let mut i = 0u64;
+    Bench::new("hix/session_connect_full_handshake").run(|| {
+        i += 1;
+        let session = HixSession::connect_with(
+            &mut machine,
+            &mut enclave,
+            1 << 20,
+            format!("user-{i}").as_bytes(),
+        )
+        .unwrap();
+        session.close(&mut machine, &mut enclave).unwrap();
     });
 }
 
-fn bench_session_setup(c: &mut Criterion) {
-    c.bench_function("hix/session_connect_full_handshake", |b| {
-        let mut machine = standard_rig(RigOptions::default());
-        let mut enclave =
-            GpuEnclave::launch(&mut machine, GpuEnclaveOptions::default()).unwrap();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let session = HixSession::connect_with(
-                &mut machine,
-                &mut enclave,
-                1 << 20,
-                format!("user-{i}").as_bytes(),
-            )
-            .unwrap();
-            session.close(&mut machine, &mut enclave).unwrap();
-        })
-    });
+fn main() {
+    bench_mmio_access();
+    bench_dram_access();
+    bench_secure_transfer();
+    bench_session_setup();
 }
-
-criterion_group!(
-    benches,
-    bench_mmio_access,
-    bench_dram_access,
-    bench_secure_transfer,
-    bench_session_setup
-);
-criterion_main!(benches);

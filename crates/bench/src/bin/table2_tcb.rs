@@ -4,6 +4,7 @@
 //! binary prints the matrix and re-runs the quick checks.
 
 use hix_attacks::run_all;
+use std::path::Path;
 
 struct Row {
     component: &'static str,
@@ -83,10 +84,86 @@ fn main() {
             r.component, r.surface, r.access_restriction, r.encryption, r.enforced_by
         );
     }
+    print_loc_breakdown();
+
     println!("\nre-running the scenario suite to confirm every row is enforced…");
     let reports = run_all();
     for report in &reports {
         assert!(report.verdict.held(), "{} breached", report.name);
     }
     println!("{} scenarios: all defenses held", reports.len());
+}
+
+/// Role of each workspace crate in the TCB accounting. Everything is
+/// in-tree — since the `hix-testkit` migration the verify path has zero
+/// external dependencies, so these counts cover the entire code base.
+const CRATE_ROLES: &[(&str, &str)] = &[
+    ("core", "TCB: GPU-enclave + trusted user runtime"),
+    ("crypto", "TCB: enclave/in-GPU crypto"),
+    ("driver", "TCB: Gdev-like driver (runs in GPU enclave)"),
+    ("platform", "hardware model: SGX/MMU/walker/GECS/TGMR"),
+    ("pcie", "hardware model: config space, routing, lockdown"),
+    ("gpu", "hardware model: device, VRAM, engines"),
+    ("sim", "harness: virtual clock + cost model"),
+    ("workloads", "evaluation: Rodinia + matrix workloads"),
+    ("attacks", "evaluation: privileged-adversary scenarios"),
+    ("bench", "evaluation: figure/table harnesses"),
+    ("testkit", "test harness: PRNG/property/bench (zero-dep)"),
+];
+
+/// Recursively counts non-empty lines across the `.rs` files under
+/// `dir`.
+fn count_rs_lines(dir: &Path) -> (u64, u64) {
+    let (mut files, mut lines) = (0u64, 0u64);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (0, 0);
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let (f, l) = count_rs_lines(&path);
+            files += f;
+            lines += l;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                files += 1;
+                lines += text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+            }
+        }
+    }
+    (files, lines)
+}
+
+/// Prints the per-crate LoC breakdown backing the TCB discussion. The
+/// table must cover *every* workspace crate — a crate missing from
+/// [`CRATE_ROLES`] (e.g. a future addition) fails loudly rather than
+/// silently under-reporting the TCB.
+fn print_loc_breakdown() {
+    let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    println!("\n== per-crate size (non-empty Rust lines; whole crate incl. tests) ==\n");
+    println!("{:<14} {:>6} {:>8}  role", "crate", "files", "lines");
+    let (mut total_files, mut total_lines, mut tcb_lines) = (0u64, 0u64, 0u64);
+    let mut listed = Vec::new();
+    for (name, role) in CRATE_ROLES {
+        let (files, lines) = count_rs_lines(&crates_dir.join(name));
+        assert!(lines > 0, "crate {name} missing or empty at {crates_dir:?}");
+        println!("{name:<14} {files:>6} {lines:>8}  {role}");
+        total_files += files;
+        total_lines += lines;
+        if role.starts_with("TCB") {
+            tcb_lines += lines;
+        }
+        listed.push(*name);
+    }
+    for entry in std::fs::read_dir(&crates_dir).expect("crates dir").flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.path().is_dir() && !listed.contains(&name.as_str()) {
+            panic!("crate `{name}` is not in the TCB breakdown — add it to CRATE_ROLES");
+        }
+    }
+    println!("{:<14} {total_files:>6} {total_lines:>8}", "total");
+    println!(
+        "\nTCB (core+crypto+driver): {tcb_lines} lines; \
+         external dependencies in the verify path: none"
+    );
 }

@@ -257,6 +257,15 @@ mod tests {
     }
 
     #[test]
+    fn decoders_are_total_on_arbitrary_bytes() {
+        hix_testkit::prop::prop("protocol_decode_total").run(|s| {
+            let bytes = s.vec_u8(0..128);
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        });
+    }
+
+    #[test]
     fn requests_roundtrip() {
         roundtrip_req(Request::LoadModule { name: "matrix_add".into() });
         roundtrip_req(Request::Malloc { len: 1 << 30 });

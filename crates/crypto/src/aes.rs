@@ -227,6 +227,15 @@ mod tests {
     }
 
     #[test]
+    fn encrypt_decrypt_roundtrip_for_arbitrary_keys_and_blocks() {
+        hix_testkit::prop::prop("aes_block_roundtrip").run(|s| {
+            let aes = Aes128::new(&s.array_u8::<16>());
+            let pt = s.array_u8::<16>();
+            assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+        });
+    }
+
+    #[test]
     fn fips197_appendix_b() {
         // FIPS 197 Appendix B worked example.
         let aes = Aes128::new(&block("2b7e151628aed2a6abf7158809cf4f3c"));

@@ -421,6 +421,14 @@ mod tests {
     }
 
     #[test]
+    fn decode_never_panics_on_arbitrary_bytes() {
+        hix_testkit::prop::prop("gpu_cmd_decode_total").run(|s| {
+            let bytes = s.vec_u8(0..128);
+            let _ = GpuCommand::decode(&bytes);
+        });
+    }
+
+    #[test]
     fn all_commands_roundtrip() {
         roundtrip(GpuCommand::CreateCtx { ctx: CtxId(3) });
         roundtrip(GpuCommand::DestroyCtx { ctx: CtxId(3) });

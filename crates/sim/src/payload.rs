@@ -164,6 +164,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn chunk_concat_is_identity_for_arbitrary_payloads() {
+        hix_testkit::prop::prop("payload_chunk_concat").run(|s| {
+            let data = s.vec_u8(0..256);
+            let chunk = s.in_range(1..64);
+            let p = Payload::from_bytes(data.clone());
+            assert_eq!(Payload::concat(p.chunks(chunk)).bytes(), &data[..]);
+        });
+    }
+
+    #[test]
     fn lengths_and_modes() {
         let b = Payload::from_bytes(vec![0; 10]);
         assert_eq!(b.len(), 10);

@@ -4,7 +4,7 @@
 //! arithmetic). Host-to-device traffic is the two inputs (`2·n²·4`
 //! bytes), device-to-host the result (`n²·4`) — exactly Table 4's rows.
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -124,7 +124,7 @@ fn cpu_mul(a: &[i32], b: &[i32], n: usize) -> Vec<i32> {
     c
 }
 
-fn gen_matrix(rng: &mut HmacDrbg, n: usize) -> Vec<i32> {
+fn gen_matrix(rng: &mut Rng, n: usize) -> Vec<i32> {
     rng.bytes(n * n * 4)
         .chunks_exact(4)
         .map(|c| i32::from_le_bytes(c.try_into().unwrap()) % 1000)
@@ -189,7 +189,7 @@ fn run_matrix(
         exec.malloc(machine, bytes)?,
         exec.malloc(machine, bytes)?,
     );
-    let mut rng = HmacDrbg::new(format!("matrix-{n}").as_bytes());
+    let mut rng = Rng::from_seed_bytes(format!("matrix-{n}").as_bytes());
     let a = gen_matrix(&mut rng, n);
     let b = gen_matrix(&mut rng, n);
     exec.htod(machine, da, &i32s_to_payload(&a))?;
@@ -315,7 +315,7 @@ mod tests {
     fn cpu_references_agree_on_identity() {
         // A×I = A.
         let n = 8;
-        let mut rng = HmacDrbg::new(b"id");
+        let mut rng = Rng::from_seed_bytes(b"id");
         let a = gen_matrix(&mut rng, n);
         let mut ident = vec![0i32; n * n];
         for i in 0..n {

@@ -5,7 +5,7 @@
 //! (row offsets + edge list + masks) goes in; the per-node cost array
 //! comes back.
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -80,7 +80,7 @@ impl GpuKernel for BfsLevelKernel {
 
 /// Deterministic CSR graph: ring edges for connectivity + random extras.
 fn gen_graph(n: usize, seed: &str) -> (Vec<i32>, Vec<i32>) {
-    let mut rng = HmacDrbg::new(seed.as_bytes());
+    let mut rng = Rng::from_seed_bytes(seed.as_bytes());
     let mut rows = Vec::with_capacity(n + 1);
     let mut edges = Vec::new();
     rows.push(0i32);

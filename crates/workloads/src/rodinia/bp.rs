@@ -6,7 +6,7 @@
 //! (`(n+1) × 17` floats), copied in for the forward pass and back out
 //! after the weight adjustment.
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -163,7 +163,7 @@ impl Workload for BackProp {
     ) -> Result<RunStats, ExecError> {
         exec.load_module(machine, "bp.layerforward")?;
         exec.load_module(machine, "bp.adjust")?;
-        let mut rng = HmacDrbg::new(format!("bp-{n}").as_bytes());
+        let mut rng = Rng::from_seed_bytes(format!("bp-{n}").as_bytes());
         let mut units = vec![1.0f32];
         units.extend((0..n).map(|_| (rng.u64() % 1000) as f32 / 1000.0));
         let weights: Vec<f32> = (0..(n + 1) * (HIDDEN + 1))

@@ -6,7 +6,7 @@
 //! Table 5: 32.00 MB / 32.00 MB, 2048×2048 points (matrix in, reduced
 //! matrix + multipliers out).
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -118,7 +118,7 @@ fn payload_f32s(p: &Payload) -> Vec<f32> {
 
 /// Diagonally dominant random matrix (stable elimination).
 fn gen_system(n: usize, seed: &str) -> (Vec<f32>, Vec<f32>) {
-    let mut rng = HmacDrbg::new(seed.as_bytes());
+    let mut rng = Rng::from_seed_bytes(seed.as_bytes());
     let mut a: Vec<f32> = (0..n * n)
         .map(|_| (rng.u64() % 100) as f32 / 100.0)
         .collect();

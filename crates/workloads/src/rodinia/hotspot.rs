@@ -4,7 +4,7 @@
 //! and power grids in, final temperatures out. One of the short apps the
 //! paper observes running *faster* under HIX (cheap task init).
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -127,7 +127,7 @@ impl Workload for Hotspot {
         n: usize,
     ) -> Result<RunStats, ExecError> {
         exec.load_module(machine, "hs.step")?;
-        let mut rng = HmacDrbg::new(format!("hs-{n}").as_bytes());
+        let mut rng = Rng::from_seed_bytes(format!("hs-{n}").as_bytes());
         let temp: Vec<f32> = (0..n * n)
             .map(|_| 320.0 + (rng.u64() % 20) as f32)
             .collect();

@@ -4,7 +4,7 @@
 //!
 //! Table 5: 16.00 MB / 16.00 MB, 2048×2048 points.
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -69,7 +69,7 @@ fn cpu_lud(a: &mut [f32], n: usize) {
 }
 
 fn gen_matrix(n: usize, seed: &str) -> Vec<f32> {
-    let mut rng = HmacDrbg::new(seed.as_bytes());
+    let mut rng = Rng::from_seed_bytes(seed.as_bytes());
     let mut a: Vec<f32> = (0..n * n)
         .map(|_| (rng.u64() % 100) as f32 / 100.0)
         .collect();

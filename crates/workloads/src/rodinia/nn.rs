@@ -5,7 +5,7 @@
 //! record inputs — the smallest app in the suite, and one the paper
 //! observes running *faster* under HIX thanks to the cheaper task init.
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -105,7 +105,7 @@ impl Workload for NearestNeighbor {
         n: usize,
     ) -> Result<RunStats, ExecError> {
         exec.load_module(machine, "nn.dist")?;
-        let mut rng = HmacDrbg::new(format!("nn-{n}").as_bytes());
+        let mut rng = Rng::from_seed_bytes(format!("nn-{n}").as_bytes());
         let records: Vec<f32> = (0..2 * n)
             .map(|_| (rng.u64() % 18000) as f32 / 100.0 - 90.0)
             .collect();

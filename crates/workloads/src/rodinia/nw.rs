@@ -6,7 +6,7 @@
 //! reference matrix and initialized score matrix go in; the filled score
 //! matrix comes back.
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -141,7 +141,7 @@ impl Workload for NeedlemanWunsch {
         n: usize,
     ) -> Result<RunStats, ExecError> {
         exec.load_module(machine, "nw.strip")?;
-        let mut rng = HmacDrbg::new(format!("nw-{n}").as_bytes());
+        let mut rng = Rng::from_seed_bytes(format!("nw-{n}").as_bytes());
         let reference: Vec<i32> = (0..n * n).map(|_| (rng.u64() % 21) as i32 - 10).collect();
         let score = init_score(n);
         let w = n + 1;

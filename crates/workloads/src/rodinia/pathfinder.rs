@@ -6,7 +6,7 @@
 //! paper's worst case for HIX (+154%): enormous input, tiny output,
 //! almost no compute — the crypto cost has nothing to hide behind.
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -127,7 +127,7 @@ impl Workload for Pathfinder {
         n: usize,
     ) -> Result<RunStats, ExecError> {
         exec.load_module(machine, "pf.rows")?;
-        let mut rng = HmacDrbg::new(format!("pf-{n}").as_bytes());
+        let mut rng = Rng::from_seed_bytes(format!("pf-{n}").as_bytes());
         let wall: Vec<i32> = (0..n * n).map(|_| (rng.u64() % 10) as i32).collect();
         let d_wall = exec.malloc(machine, (n * n * 4) as u64)?;
         let d_result = exec.malloc(machine, (n * 4) as u64)?;

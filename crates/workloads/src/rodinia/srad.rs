@@ -5,7 +5,7 @@
 //! Table 5: 24.23 MB HtoD / 24.19 MB DtoH, 3096×2048 points (the image
 //! in and the despeckled image back).
 
-use hix_crypto::drbg::HmacDrbg;
+use hix_testkit::Rng;
 use hix_gpu::vram::DevAddr;
 use hix_gpu::{GpuKernel, KernelError, KernelExec};
 use hix_platform::Machine;
@@ -183,7 +183,7 @@ impl Workload for Srad {
         exec.load_module(machine, "srad.coeff")?;
         exec.load_module(machine, "srad.update")?;
         let (rows, cols) = Srad::dims(n);
-        let mut rng = HmacDrbg::new(format!("srad-{n}").as_bytes());
+        let mut rng = Rng::from_seed_bytes(format!("srad-{n}").as_bytes());
         let img: Vec<f32> = (0..rows * cols)
             .map(|_| 1.0 + (rng.u64() % 100) as f32 / 50.0)
             .collect();
@@ -249,7 +249,7 @@ mod tests {
     #[test]
     fn diffusion_reduces_variance() {
         let (rows, cols) = (16, 16);
-        let mut rng = HmacDrbg::new(b"var");
+        let mut rng = Rng::from_seed_bytes(b"var");
         let mut img: Vec<f32> = (0..rows * cols)
             .map(|_| 1.0 + (rng.u64() % 100) as f32 / 25.0)
             .collect();

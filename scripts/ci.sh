@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verify — fully hermetic: no network, no crates.io registry.
+# The workspace has zero external dependencies (see crates/testkit), so
+# everything below runs with --offline on a cold machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_log=$(mktemp)
+trap 'rm -f "$build_log"' EXIT
+
+cargo build --release --offline 2>&1 | tee "$build_log"
+# The in-tree test/bench harness must stay warning-clean: it is part of
+# every crate's verify path and is counted in the Table-2 TCB breakdown.
+if grep -E 'hix-testkit.*generated [0-9]+ warning' "$build_log"; then
+    echo "error: cargo build emitted warnings in hix-testkit" >&2
+    exit 1
+fi
+
+cargo test -q --offline
+
+# Table 2 re-runs the attack-scenario suite and the per-crate TCB LoC
+# accounting (non-fatal here: the test suite above already gates it).
+cargo run -q --release --offline -p hix-bench --bin table2_tcb 2>/dev/null || true
+
+echo "tier-1 verify: OK"

@@ -1,110 +1,127 @@
 //! Property-based tests over the crypto substrate: OCB AEAD laws, bignum
-//! algebra, and payload invariants.
+//! algebra, and payload invariants — on the in-tree `hix-testkit` harness.
 
 use hix_crypto::bignum::Uint;
 use hix_crypto::ocb::{Key, Nonce, Ocb, TAG_LEN};
 use hix_sim::Payload;
-use proptest::prelude::*;
+use hix_testkit::prop::prop;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ocb_roundtrip(
-        key in prop::array::uniform16(any::<u8>()),
-        counter in any::<u64>(),
-        aad in prop::collection::vec(any::<u8>(), 0..64),
-        plaintext in prop::collection::vec(any::<u8>(), 0..512),
-    ) {
+#[test]
+fn ocb_roundtrip() {
+    prop("ocb_roundtrip").run(|s| {
+        let key = s.array_u8::<16>();
+        let counter = s.u64();
+        let aad = s.vec_u8(0..64);
+        let plaintext = s.vec_u8(0..512);
         let ocb = Ocb::new(&Key::from_bytes(key));
         let nonce = Nonce::from_counter(counter);
         let sealed = ocb.seal(&nonce, &aad, &plaintext);
-        prop_assert_eq!(sealed.len(), plaintext.len() + TAG_LEN);
+        assert_eq!(sealed.len(), plaintext.len() + TAG_LEN);
         let opened = ocb.open(&nonce, &aad, &sealed).unwrap();
-        prop_assert_eq!(opened, plaintext);
-    }
+        assert_eq!(opened, plaintext);
+    });
+}
 
-    #[test]
-    fn ocb_any_bit_flip_is_detected(
-        plaintext in prop::collection::vec(any::<u8>(), 1..256),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn ocb_any_bit_flip_is_detected() {
+    prop("ocb_any_bit_flip_is_detected").run(|s| {
+        let plaintext = s.vec_u8(1..256);
         let ocb = Ocb::new(&Key::from_bytes([9u8; 16]));
         let nonce = Nonce::from_counter(5);
         let mut sealed = ocb.seal(&nonce, b"aad", &plaintext);
-        let idx = flip_byte.index(sealed.len());
+        let idx = s.index(sealed.len());
+        let flip_bit = s.in_range(0..8) as u8;
         sealed[idx] ^= 1 << flip_bit;
-        prop_assert!(ocb.open(&nonce, b"aad", &sealed).is_err());
-    }
+        assert!(ocb.open(&nonce, b"aad", &sealed).is_err());
+    });
+}
 
-    #[test]
-    fn ocb_ciphertexts_differ_across_nonces(
-        plaintext in prop::collection::vec(any::<u8>(), 16..128),
-        c1 in any::<u64>(),
-        c2 in any::<u64>(),
-    ) {
-        prop_assume!(c1 != c2);
+#[test]
+fn ocb_ciphertexts_differ_across_nonces() {
+    prop("ocb_ciphertexts_differ_across_nonces").run(|s| {
+        let plaintext = s.vec_u8(16..128);
+        let c1 = s.u64();
+        let c2 = s.u64();
+        if c1 == c2 {
+            return;
+        }
         let ocb = Ocb::new(&Key::from_bytes([1u8; 16]));
         let s1 = ocb.seal(&Nonce::from_counter(c1), b"", &plaintext);
         let s2 = ocb.seal(&Nonce::from_counter(c2), b"", &plaintext);
-        prop_assert_ne!(s1, s2, "nonce reuse would be catastrophic");
-    }
+        assert_ne!(s1, s2, "nonce reuse would be catastrophic");
+    });
+}
 
-    #[test]
-    fn bignum_modpow_addition_law(
-        base in 2u64..1_000_000,
-        e1 in 0u64..64,
-        e2 in 0u64..64,
-        modulus in 3u64..1_000_003,
-    ) {
+#[test]
+fn bignum_modpow_addition_law() {
+    prop("bignum_modpow_addition_law").run(|s| {
         // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let base = s.in_range(2..1_000_000);
+        let e1 = s.in_range(0..64);
+        let e2 = s.in_range(0..64);
+        let modulus = s.in_range(3..1_000_003);
         let m = Uint::from_u64(modulus);
         let a = Uint::from_u64(base);
         let lhs = a.modpow(&Uint::from_u64(e1 + e2), &m);
         let x = a.modpow(&Uint::from_u64(e1), &m);
         let y = a.modpow(&Uint::from_u64(e2), &m);
         let rhs = x.modmul(&y, &m);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn bignum_bytes_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn bignum_bytes_roundtrip() {
+    prop("bignum_bytes_roundtrip").run(|s| {
+        let bytes = s.vec_u8(0..64);
         let u = Uint::from_be_bytes(&bytes);
         let canonical: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
-        prop_assert_eq!(u.to_be_bytes(), canonical);
-    }
+        assert_eq!(u.to_be_bytes(), canonical);
+    });
+}
 
-    #[test]
-    fn bignum_rem_matches_u128(a in any::<u128>(), m in 1u64..u64::MAX) {
+#[test]
+fn bignum_rem_matches_u128() {
+    prop("bignum_rem_matches_u128").run(|s| {
+        let a = s.u128();
+        let m = s.in_range(1..u64::MAX);
         let big_a = Uint::from_be_bytes(&a.to_be_bytes());
         let big_m = Uint::from_u64(m);
-        prop_assert_eq!(big_a.rem(&big_m), Uint::from_u64((a % m as u128) as u64));
-    }
+        assert_eq!(big_a.rem(&big_m), Uint::from_u64((a % m as u128) as u64));
+    });
+}
 
-    #[test]
-    fn payload_chunk_concat_identity(
-        data in prop::collection::vec(any::<u8>(), 0..512),
-        chunk in 1u64..64,
-    ) {
+#[test]
+fn payload_chunk_concat_identity() {
+    prop("payload_chunk_concat_identity").run(|s| {
+        let data = s.vec_u8(0..512);
+        let chunk = s.in_range(1..64);
         let p = Payload::from_bytes(data.clone());
         let back = Payload::concat(p.chunks(chunk));
-        prop_assert_eq!(back.bytes(), &data[..]);
-    }
+        assert_eq!(back.bytes(), &data[..]);
+    });
+}
 
-    #[test]
-    fn synthetic_chunks_preserve_length(len in 0u64..1_000_000, chunk in 1u64..5000) {
+#[test]
+fn synthetic_chunks_preserve_length() {
+    prop("synthetic_chunks_preserve_length").run(|s| {
+        let len = s.in_range(0..1_000_000);
+        let chunk = s.in_range(1..5000);
         let parts = Payload::synthetic(len).chunks(chunk);
-        prop_assert_eq!(parts.iter().map(Payload::len).sum::<u64>(), len);
-        prop_assert!(parts.iter().all(|p| p.len() <= chunk));
-    }
+        assert_eq!(parts.iter().map(Payload::len).sum::<u64>(), len);
+        assert!(parts.iter().all(|p| p.len() <= chunk));
+    });
+}
 
-    #[test]
-    fn sealed_stream_len_is_consistent(len in 1u64..10_000_000, chunk in 1u64..100_000) {
+#[test]
+fn sealed_stream_len_is_consistent() {
+    prop("sealed_stream_len_is_consistent").run(|s| {
+        let len = s.in_range(1..10_000_000);
+        let chunk = s.in_range(1..100_000);
         let sealed = hix_core::channel::sealed_stream_len(len, chunk);
         let chunks = len.div_ceil(chunk);
-        prop_assert_eq!(sealed, len + chunks * TAG_LEN as u64);
-    }
+        assert_eq!(sealed, len + chunks * TAG_LEN as u64);
+    });
 }
 
 #[test]

@@ -1,12 +1,13 @@
 //! Property-based tests over the platform substrate: page tables + TLB
-//! coherence, sparse RAM, VRAM, and the cost model's monotonicity.
+//! coherence, sparse RAM, VRAM, and the cost model's monotonicity — on
+//! the in-tree `hix-testkit` harness.
 
 use hix_pcie::addr::PhysAddr;
 use hix_platform::mem::{Ram, PAGE_SIZE};
 use hix_platform::mmu::{PageTable, Pte, Tlb};
 use hix_platform::VirtAddr;
 use hix_sim::{CostModel, Nanos};
-use proptest::prelude::*;
+use hix_testkit::prop::{prop, Source};
 
 #[derive(Debug, Clone)]
 enum MmuOp {
@@ -14,19 +15,21 @@ enum MmuOp {
     Unmap { vpn: u64 },
 }
 
-fn mmu_op() -> impl Strategy<Value = MmuOp> {
-    prop_oneof![
-        (0u64..32, 0u64..64, any::<bool>())
-            .prop_map(|(vpn, ppn, writable)| MmuOp::Map { vpn, ppn, writable }),
-        (0u64..32).prop_map(|vpn| MmuOp::Unmap { vpn }),
-    ]
+fn mmu_op(s: &mut Source) -> MmuOp {
+    match s.choice(2) {
+        0 => MmuOp::Map {
+            vpn: s.in_range(0..32),
+            ppn: s.in_range(0..64),
+            writable: s.bool(),
+        },
+        _ => MmuOp::Unmap { vpn: s.in_range(0..32) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn page_table_matches_reference_model(ops in prop::collection::vec(mmu_op(), 0..64)) {
+#[test]
+fn page_table_matches_reference_model() {
+    prop("page_table_matches_reference_model").run(|s| {
+        let ops = s.collect(0..64, mmu_op);
         let mut pt = PageTable::new();
         let mut reference = std::collections::BTreeMap::new();
         for op in ops {
@@ -48,17 +51,18 @@ proptest! {
         for vpn in 0..32u64 {
             let got = pt.walk(VirtAddr::new(vpn * PAGE_SIZE + 123));
             let want = reference.get(&vpn).map(|&(ppn, writable)| Pte { ppn, writable });
-            prop_assert_eq!(got, want, "vpn {}", vpn);
+            assert_eq!(got, want, "vpn {vpn}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn tlb_never_contradicts_inserts(
-        inserts in prop::collection::vec((0u64..16, 0u64..64), 1..128),
-        capacity in 1usize..16,
-    ) {
+#[test]
+fn tlb_never_contradicts_inserts() {
+    prop("tlb_never_contradicts_inserts").run(|s| {
         // Whatever the eviction pattern, a hit must return the most
         // recently inserted translation for that page.
+        let inserts = s.collect(1..128, |s| (s.in_range(0..16), s.in_range(0..64)));
+        let capacity = s.usize_in(1..16);
         let mut tlb = Tlb::new(capacity);
         let mut last = std::collections::BTreeMap::new();
         for (vpn, ppn) in inserts {
@@ -67,63 +71,75 @@ proptest! {
         }
         for (vpn, ppn) in last {
             if let Some(pte) = tlb.lookup(VirtAddr::new(vpn * PAGE_SIZE)) {
-                prop_assert_eq!(pte.ppn, ppn, "stale TLB entry for vpn {}", vpn);
+                assert_eq!(pte.ppn, ppn, "stale TLB entry for vpn {vpn}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ram_rw_roundtrip(
-        offset in 0u64..(1 << 20),
-        data in prop::collection::vec(any::<u8>(), 1..256),
-    ) {
+#[test]
+fn ram_rw_roundtrip() {
+    prop("ram_rw_roundtrip").run(|s| {
+        let offset = s.in_range(0..1 << 20);
+        let data = s.vec_u8(1..256);
         let mut ram = Ram::new();
         let base = PhysAddr::new(0x50_0000 + offset);
         ram.write(base, &data);
         let mut back = vec![0u8; data.len()];
         ram.read(base, &mut back);
-        prop_assert_eq!(back, data);
-    }
+        assert_eq!(back, data);
+    });
+}
 
-    #[test]
-    fn vram_rw_roundtrip(
-        offset in 0u64..(1 << 18),
-        data in prop::collection::vec(any::<u8>(), 1..256),
-    ) {
+#[test]
+fn vram_rw_roundtrip() {
+    prop("vram_rw_roundtrip").run(|s| {
+        let offset = s.in_range(0..1 << 18);
+        let data = s.vec_u8(1..256);
         let mut vram = hix_gpu::vram::Vram::new(1 << 20);
         vram.write(offset.min((1 << 20) - 256), &data);
         let mut back = vec![0u8; data.len()];
         vram.read(offset.min((1 << 20) - 256), &mut back);
-        prop_assert_eq!(back, data);
-    }
+        assert_eq!(back, data);
+    });
+}
 
-    #[test]
-    fn pipelined_transfer_bounds(bytes in 1u64..(512 << 20)) {
+#[test]
+fn pipelined_transfer_bounds() {
+    prop("pipelined_transfer_bounds").run(|s| {
         // The pipelined duration is at least the slowest stage and at
         // most the serial sum.
+        let bytes = s.in_range(1..512 << 20);
         let m = CostModel::paper();
         let t = m.pipelined_transfer(bytes, m.enclave_crypto_bw, m.pcie_bw, m.dma_setup);
         let crypto = m.enclave_crypt(bytes);
         let chunks = bytes.div_ceil(m.pipeline_chunk);
         let wire = Nanos::for_throughput(bytes, m.pcie_bw) + m.dma_setup * chunks;
-        prop_assert!(t >= crypto.max(wire));
-        prop_assert!(t <= crypto + wire);
-    }
+        assert!(t >= crypto.max(wire));
+        assert!(t <= crypto + wire);
+    });
+}
 
-    #[test]
-    fn transfer_costs_are_monotonic(a in 1u64..(256 << 20), b in 1u64..(256 << 20)) {
+#[test]
+fn transfer_costs_are_monotonic() {
+    prop("transfer_costs_are_monotonic").run(|s| {
+        let a = s.in_range(1..256 << 20);
+        let b = s.in_range(1..256 << 20);
         let m = CostModel::paper();
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(m.hix_htod(lo) <= m.hix_htod(hi));
-        prop_assert!(m.hix_dtoh(lo) <= m.hix_dtoh(hi));
-        prop_assert!(m.pcie_transfer(lo) <= m.pcie_transfer(hi));
-    }
+        assert!(m.hix_htod(lo) <= m.hix_htod(hi));
+        assert!(m.hix_dtoh(lo) <= m.hix_dtoh(hi));
+        assert!(m.pcie_transfer(lo) <= m.pcie_transfer(hi));
+    });
+}
 
-    #[test]
-    fn single_copy_beats_naive_everywhere(bytes in (1u64 << 12)..(512 << 20)) {
+#[test]
+fn single_copy_beats_naive_everywhere() {
+    prop("single_copy_beats_naive_everywhere").run(|s| {
+        let bytes = s.in_range(1 << 12..512 << 20);
         let m = CostModel::paper();
-        prop_assert!(m.hix_htod(bytes) < m.naive_htod(bytes));
-    }
+        assert!(m.hix_htod(bytes) < m.naive_htod(bytes));
+    });
 }
 
 #[test]

@@ -2,12 +2,18 @@
 //! software in the baseline world, so the device model must be
 //! panic-free under arbitrary register traffic and malformed command
 //! submissions — errors, never crashes.
+//!
+//! Runs on the in-tree `hix-testkit` harness; the seed corpus in
+//! `proptest_robustness.seeds` (migrated from the retired
+//! `.proptest-regressions` file) is replayed before every run.
 
 use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
 use hix_gpu::regs::bar0;
-use hix_pcie::config::BarIndex;
 use hix_pcie::addr::Bdf;
-use proptest::prelude::*;
+use hix_pcie::config::BarIndex;
+use hix_testkit::prop::{decode_tape, prop, Source};
+
+const SEEDS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/proptest_robustness.seeds");
 
 #[derive(Debug, Clone)]
 enum MmioOp {
@@ -17,92 +23,149 @@ enum MmioOp {
     ConfigWrite { offset: u16, value: u32 },
 }
 
-fn mmio_op() -> impl Strategy<Value = MmioOp> {
-    prop_oneof![
-        (0u8..2, 0u64..0x3000, prop::collection::vec(any::<u8>(), 1..64))
-            .prop_map(|(bar, offset, data)| MmioOp::Write { bar, offset, data }),
-        (0u8..2, 0u64..0x3000, 1usize..64)
-            .prop_map(|(bar, offset, len)| MmioOp::Read { bar, offset, len }),
-        prop::collection::vec(any::<u8>(), 0..128)
-            .prop_map(|staged| MmioOp::Doorbell { staged }),
-        (0u16..0x40, any::<u32>())
-            .prop_map(|(offset, value)| MmioOp::ConfigWrite { offset, value }),
-    ]
+fn mmio_op(s: &mut Source) -> MmioOp {
+    match s.choice(4) {
+        0 => MmioOp::Write {
+            bar: s.in_range(0..2) as u8,
+            offset: s.in_range(0..0x3000),
+            data: s.vec_u8(1..64),
+        },
+        1 => MmioOp::Read {
+            bar: s.in_range(0..2) as u8,
+            offset: s.in_range(0..0x3000),
+            len: s.usize_in(1..64),
+        },
+        2 => MmioOp::Doorbell { staged: s.vec_u8(0..128) },
+        _ => MmioOp::ConfigWrite {
+            offset: s.in_range(0..0x40) as u16,
+            value: s.u32(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn device_survives_arbitrary_mmio(ops in prop::collection::vec(mmio_op(), 1..64)) {
-        let mut machine = standard_rig(RigOptions::default());
-        for op in ops {
-            match op {
-                MmioOp::Write { bar, offset, data } => {
-                    let device = machine.device_mut(GPU_BDF).expect("gpu present");
-                    device.mmio_write(BarIndex(bar), offset, &data);
+#[test]
+fn device_survives_arbitrary_mmio() {
+    prop("device_survives_arbitrary_mmio")
+        .corpus(SEEDS)
+        .run(|s| {
+            let ops = s.collect(1..64, mmio_op);
+            let mut machine = standard_rig(RigOptions::default());
+            for op in ops {
+                match op {
+                    MmioOp::Write { bar, offset, data } => {
+                        let device = machine.device_mut(GPU_BDF).expect("gpu present");
+                        device.mmio_write(BarIndex(bar), offset, &data);
+                    }
+                    MmioOp::Read { bar, offset, len } => {
+                        let device = machine.device_mut(GPU_BDF).expect("gpu present");
+                        let mut buf = vec![0u8; len];
+                        device.mmio_read(BarIndex(bar), offset, &mut buf);
+                    }
+                    MmioOp::Doorbell { staged } => {
+                        let device = machine.device_mut(GPU_BDF).expect("gpu present");
+                        device.mmio_write(BarIndex(0), bar0::CMD_WINDOW, &staged);
+                        device.mmio_write(
+                            BarIndex(0),
+                            bar0::DOORBELL,
+                            &(staged.len() as u64).to_le_bytes(),
+                        );
+                    }
+                    MmioOp::ConfigWrite { offset, value } => {
+                        let _ = machine.config_write(GPU_BDF, offset, value);
+                    }
                 }
-                MmioOp::Read { bar, offset, len } => {
-                    let device = machine.device_mut(GPU_BDF).expect("gpu present");
-                    let mut buf = vec![0u8; len];
-                    device.mmio_read(BarIndex(bar), offset, &mut buf);
-                }
-                MmioOp::Doorbell { staged } => {
-                    let device = machine.device_mut(GPU_BDF).expect("gpu present");
-                    device.mmio_write(BarIndex(0), bar0::CMD_WINDOW, &staged);
-                    device.mmio_write(
-                        BarIndex(0),
-                        bar0::DOORBELL,
-                        &(staged.len() as u64).to_le_bytes(),
-                    );
-                }
-                MmioOp::ConfigWrite { offset, value } => {
-                    let _ = machine.config_write(GPU_BDF, offset, value);
-                }
+                // Whatever happened, the device must still quiesce.
+                machine.run_device(GPU_BDF);
             }
-            // Whatever happened, the device must still quiesce.
-            machine.run_device(GPU_BDF);
-        }
-        // And still answer with its magic afterwards.
-        let device = machine.device_mut(GPU_BDF).expect("gpu present");
-        let mut id = [0u8; 8];
-        device.mmio_read(BarIndex(0), bar0::ID, &mut id);
-        prop_assert_eq!(u64::from_le_bytes(id), hix_gpu::regs::GPU_MAGIC);
-    }
+            // And still answer with its magic afterwards.
+            let device = machine.device_mut(GPU_BDF).expect("gpu present");
+            let mut id = [0u8; 8];
+            device.mmio_read(BarIndex(0), bar0::ID, &mut id);
+            assert_eq!(u64::from_le_bytes(id), hix_gpu::regs::GPU_MAGIC);
+        });
+}
 
-    #[test]
-    fn fabric_survives_arbitrary_config_traffic(
-        writes in prop::collection::vec((0u8..4, 0u8..2, 0u16..0x40, any::<u32>()), 1..64),
-    ) {
-        let mut machine = standard_rig(RigOptions::default());
-        for (bus, dev, offset, value) in writes {
-            let bdf = Bdf::new(bus, dev, 0);
-            let _ = machine.config_write(bdf, offset, value);
-            let _ = machine.config_read(bdf, offset);
-        }
-        // The fabric still routes *something* deterministic (either the
-        // GPU if decode survived, or nothing — never a panic).
-        let _ = machine.fabric().route_mem(hix_pcie::addr::PhysAddr::new(0xc000_0000));
-    }
+#[test]
+fn fabric_survives_arbitrary_config_traffic() {
+    prop("fabric_survives_arbitrary_config_traffic")
+        .corpus(SEEDS)
+        .run(|s| {
+            let writes = s.collect(1..64, |s| {
+                (
+                    s.in_range(0..4) as u8,
+                    s.in_range(0..2) as u8,
+                    s.in_range(0..0x40) as u16,
+                    s.u32(),
+                )
+            });
+            let mut machine = standard_rig(RigOptions::default());
+            for (bus, dev, offset, value) in writes {
+                let bdf = Bdf::new(bus, dev, 0);
+                let _ = machine.config_write(bdf, offset, value);
+                let _ = machine.config_read(bdf, offset);
+            }
+            // The fabric still routes *something* deterministic (either the
+            // GPU if decode survived, or nothing — never a panic).
+            let _ = machine.fabric().route_mem(hix_pcie::addr::PhysAddr::new(0xc000_0000));
+        });
+}
 
-    #[test]
-    fn command_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = hix_gpu::cmd::GpuCommand::decode(&bytes);
-    }
+#[test]
+fn command_decoder_never_panics() {
+    prop("command_decoder_never_panics")
+        .corpus(SEEDS)
+        .run(|s| {
+            let bytes = s.vec_u8(0..256);
+            let _ = hix_gpu::cmd::GpuCommand::decode(&bytes);
+        });
+}
 
-    #[test]
-    fn protocol_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = hix_core::protocol::Request::decode(&bytes);
-        let _ = hix_core::protocol::Response::decode(&bytes);
-    }
+#[test]
+fn protocol_decoder_never_panics() {
+    prop("protocol_decoder_never_panics")
+        .corpus(SEEDS)
+        .run(|s| {
+            let bytes = s.vec_u8(0..256);
+            let _ = hix_core::protocol::Request::decode(&bytes);
+            let _ = hix_core::protocol::Response::decode(&bytes);
+        });
+}
 
-    #[test]
-    fn ocb_open_never_panics_on_garbage(
-        bytes in prop::collection::vec(any::<u8>(), 0..256),
-        counter in any::<u64>(),
-    ) {
-        use hix_crypto::ocb::{Key, Nonce, Ocb};
-        let ocb = Ocb::new(&Key::from_bytes([1u8; 16]));
-        let _ = ocb.open(&Nonce::from_counter(counter), b"aad", &bytes);
-    }
+#[test]
+fn ocb_open_never_panics_on_garbage() {
+    prop("ocb_open_never_panics_on_garbage")
+        .corpus(SEEDS)
+        .run(|s| {
+            use hix_crypto::ocb::{Key, Nonce, Ocb};
+            let bytes = s.vec_u8(0..256);
+            let counter = s.u64();
+            let ocb = Ocb::new(&Key::from_bytes([1u8; 16]));
+            let _ = ocb.open(&Nonce::from_counter(counter), b"aad", &bytes);
+        });
+}
+
+/// The migrated corpus entry must keep decoding to the counterexample
+/// the retired proptest regression file recorded: exactly one
+/// `Doorbell` op with these 51 staged bytes. If the tape encoding ever
+/// drifts, this fails loudly instead of silently replaying garbage.
+#[test]
+fn migrated_regression_seed_decodes_to_original_counterexample() {
+    let text = std::fs::read_to_string(SEEDS).expect("seeds file present");
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("device_survives_arbitrary_mmio"))
+        .expect("migrated entry present");
+    let hex = line.split_whitespace().nth(1).unwrap();
+    let tape = hix_testkit::prop::decode_hex(hex).unwrap();
+    let ops = decode_tape(&tape, |s| s.collect(1..64, mmio_op));
+    assert_eq!(ops.len(), 1);
+    let MmioOp::Doorbell { staged } = &ops[0] else {
+        panic!("expected a Doorbell op, got {:?}", ops[0]);
+    };
+    let original: &[u8] = &[
+        12, 220, 192, 56, 123, 180, 193, 49, 130, 120, 16, 42, 233, 167, 207, 230, 216, 241,
+        75, 189, 200, 74, 132, 153, 160, 129, 188, 145, 131, 73, 213, 243, 209, 9, 103, 89,
+        62, 72, 20, 4, 2, 8, 105, 83, 219, 212, 11, 77, 137, 119, 238,
+    ];
+    assert_eq!(staged, original);
 }
