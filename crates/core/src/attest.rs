@@ -80,6 +80,26 @@ pub fn pairwise_channel_key(
     user_rng: &mut HmacDrbg,
     enclave_rng: &mut HmacDrbg,
 ) -> Result<[u8; 16], AttestError> {
+    let obs = machine.trace().obs().clone();
+    obs.metrics().inc("attest.handshakes");
+    let span = obs.enter(
+        machine.clock().now().as_nanos(),
+        "attestation",
+        "pairwise channel key",
+        &[],
+    );
+    let result = pairwise_channel_key_inner(machine, user, enclave, user_rng, enclave_rng);
+    obs.exit(span, machine.clock().now().as_nanos());
+    result
+}
+
+fn pairwise_channel_key_inner(
+    machine: &mut Machine,
+    user: ProcessId,
+    enclave: ProcessId,
+    user_rng: &mut HmacDrbg,
+    enclave_rng: &mut HmacDrbg,
+) -> Result<[u8; 16], AttestError> {
     let group = DhGroup::sim();
     let user_kp = group.generate(user_rng);
     let encl_kp = group.generate(enclave_rng);
@@ -137,6 +157,26 @@ pub struct DataKey {
 ///
 /// Propagates DH and driver failures.
 pub fn three_party_data_key(
+    machine: &mut Machine,
+    driver: &GpuDriver,
+    ctx: CtxId,
+    user_rng: &mut HmacDrbg,
+    enclave_rng: &mut HmacDrbg,
+) -> Result<DataKey, AttestError> {
+    let obs = machine.trace().obs().clone();
+    obs.metrics().inc("attest.handshakes");
+    let span = obs.enter(
+        machine.clock().now().as_nanos(),
+        "attestation",
+        "three-party data key",
+        &[],
+    );
+    let result = three_party_data_key_inner(machine, driver, ctx, user_rng, enclave_rng);
+    obs.exit(span, machine.clock().now().as_nanos());
+    result
+}
+
+fn three_party_data_key_inner(
     machine: &mut Machine,
     driver: &GpuDriver,
     ctx: CtxId,

@@ -24,6 +24,7 @@ use hix_crypto::ocb::{Nonce, Ocb, TAG_LEN};
 use hix_driver::DmaBuffer;
 use hix_platform::mmu::AccessFault;
 use hix_platform::{Machine, ProcessId};
+use hix_sim::EventKind;
 
 /// Offsets within the shared channel buffer.
 mod layout {
@@ -158,7 +159,16 @@ impl Endpoint {
         self.req_seq += 1;
         let sealed = self.ocb.seal(&req_nonce(self.req_seq), b"hix-req", body);
         assert!(sealed.len() as u64 <= layout::MAX_BODY, "request too large");
-        machine.clock().advance(machine.model().ipc_roundtrip / 2);
+        let hop = machine.model().ipc_roundtrip / 2;
+        machine.clock().advance(hop);
+        machine.trace().metrics().inc("ipc.msgs");
+        machine.trace().emit_with(
+            machine.clock().now(),
+            hop,
+            EventKind::Ipc,
+            "send request",
+            &[("bytes", sealed.len() as u64), ("seq", self.req_seq)],
+        );
         self.buffer
             .write(machine, self.pid, layout::REQ_BODY, &sealed.clone().into())?;
         self.write_u64(machine, layout::REQ_LEN, sealed.len() as u64)?;
@@ -205,7 +215,16 @@ impl Endpoint {
         self.resp_seq += 1;
         let sealed = self.ocb.seal(&resp_nonce(self.resp_seq), b"hix-resp", body);
         assert!(sealed.len() as u64 <= layout::MAX_BODY, "response too large");
-        machine.clock().advance(machine.model().ipc_roundtrip / 2);
+        let hop = machine.model().ipc_roundtrip / 2;
+        machine.clock().advance(hop);
+        machine.trace().metrics().inc("ipc.msgs");
+        machine.trace().emit_with(
+            machine.clock().now(),
+            hop,
+            EventKind::Ipc,
+            "send response",
+            &[("bytes", sealed.len() as u64), ("seq", self.resp_seq)],
+        );
         self.buffer
             .write(machine, self.pid, layout::RESP_BODY, &sealed.clone().into())?;
         self.write_u64(machine, layout::RESP_LEN, sealed.len() as u64)?;

@@ -371,6 +371,7 @@ impl GpuEnclave {
     ) -> Result<(SessionId, [u8; 16], [u8; 16]), HixCoreError> {
         let init = machine.model().task_init(ExecMode::Hix);
         machine.clock().advance(init);
+        machine.trace().metrics().inc("enclave.sessions_accepted");
         machine
             .trace()
             .emit(machine.clock().now(), init, EventKind::Init, "hix session init");
@@ -441,6 +442,39 @@ impl GpuEnclave {
         session: SessionId,
         request: Request,
     ) -> Result<Response, HixCoreError> {
+        // One structural span per served request: the charged work it
+        // causes (DMA, kernels, MMIO…) nests under it in the exported
+        // timeline without double-counting any category time.
+        let op: &'static str = match &request {
+            Request::LoadModule { .. } => "req.load_module",
+            Request::Malloc { .. } => "req.malloc",
+            Request::Free { .. } => "req.free",
+            Request::MemcpyHtoD { .. } => "req.memcpy_htod",
+            Request::MemcpyDtoH { .. } => "req.memcpy_dtoh",
+            Request::Memset { .. } => "req.memset",
+            Request::CopyDtoD { .. } => "req.copy_dtod",
+            Request::Launch { .. } => "req.launch",
+            Request::Sync => "req.sync",
+            Request::Close => "req.close",
+        };
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "enclave",
+            op,
+            &[("session", session as u64)],
+        );
+        let result = self.handle_inner(machine, session, request);
+        obs.exit(span, machine.clock().now().as_nanos());
+        result
+    }
+
+    fn handle_inner(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+        request: Request,
+    ) -> Result<Response, HixCoreError> {
         let state = self.sessions.get_mut(&session).expect("checked by poll");
         let ctx = state.ctx;
         let chunk_cfg = machine.model().pipeline_chunk;
@@ -465,6 +499,8 @@ impl GpuEnclave {
             },
             Request::MemcpyHtoD { dst, len, chunk, nonce_start } => {
                 let sealed_len = sealed_stream_len(len, chunk);
+                // The in-GPU decrypt-stream kernel unseals `len` bytes.
+                machine.trace().metrics().add("dma.bytes_decrypted", len);
                 let buffer = state.endpoint.buffer().clone();
                 // Single copy: DMA the sealed stream straight into the
                 // destination buffer, then one in-GPU decrypt launch.
@@ -493,6 +529,8 @@ impl GpuEnclave {
             Request::MemcpyDtoH { src, len, chunk, nonce_start } => {
                 let staging = state.staging;
                 let staging_len = state.staging_len;
+                // The in-GPU encrypt kernel seals `len` bytes chunkwise.
+                machine.trace().metrics().add("dma.bytes_encrypted", len);
                 let buffer = state.endpoint.buffer().clone();
                 if chunk + hix_crypto::ocb::TAG_LEN as u64 > staging_len {
                     return Ok(Response::Err("chunk exceeds staging".into()));
@@ -599,6 +637,7 @@ impl GpuEnclave {
         machine.fabric_mut().reset_device(self.bdf);
         machine.hix_release(self.pid)?;
         machine.eexit(self.pid);
+        machine.trace().metrics().inc("enclave.shutdowns");
         machine.trace().emit(
             machine.clock().now(),
             Nanos::ZERO,

@@ -23,7 +23,7 @@ use hix_gpu::crypto_kernels::DATA_AAD;
 use hix_gpu::vram::DevAddr;
 use hix_platform::mem::PAGE_SIZE;
 use hix_platform::{Machine, ProcessId, VirtAddr};
-use hix_sim::{CostModel, Payload};
+use hix_sim::{CostModel, EventKind, Payload};
 
 use crate::channel::{sealed_stream_len, Endpoint, BULK_OFFSET};
 use crate::gpu_enclave::{GpuEnclave, HixCoreError, SessionId};
@@ -86,6 +86,24 @@ impl HixSession {
     ///
     /// Propagates attestation, channel, and driver failures.
     pub fn connect_with(
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        shared_len: u64,
+        seed: &[u8],
+    ) -> Result<HixSession, HixCoreError> {
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "session",
+            "connect",
+            &[("shared_len", shared_len)],
+        );
+        let result = HixSession::connect_inner(machine, enclave, shared_len, seed);
+        obs.exit(span, machine.clock().now().as_nanos());
+        result
+    }
+
+    fn connect_inner(
         machine: &mut Machine,
         enclave: &mut GpuEnclave,
         shared_len: u64,
@@ -264,6 +282,13 @@ impl HixSession {
             sealed_stream_len(len, chunk) <= self.endpoint.bulk_capacity(),
             "transfer exceeds the shared-memory window; reconnect with a larger one"
         );
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "session",
+            "memcpy_htod",
+            &[("bytes", len)],
+        );
         let start = machine.clock().now();
         let nonce_start = self.htod_nonce;
         // Functional plane: seal every chunk into the bulk area.
@@ -284,6 +309,17 @@ impl HixSession {
             }
         }
         self.htod_nonce += len.div_ceil(chunk);
+        // The user-enclave sealing work is part of the pipelined closed
+        // form below; charge it to its own category (recording only —
+        // the clock is never advanced here).
+        machine.trace().metrics().add("dma.bytes_encrypted", len);
+        machine.trace().emit_with(
+            machine.clock().now(),
+            model.enclave_crypt(len),
+            EventKind::EnclaveCrypto,
+            "seal stream",
+            &[("bytes", len)],
+        );
         let request = Request::MemcpyHtoD {
             dst,
             len,
@@ -296,6 +332,7 @@ impl HixSession {
         machine
             .clock()
             .advance_to(start + model.ipc_roundtrip + model.hix_htod(len));
+        obs.exit(span, machine.clock().now().as_nanos());
         Ok(())
     }
 
@@ -321,6 +358,13 @@ impl HixSession {
         assert!(
             sealed_stream_len(len, chunk) <= self.endpoint.bulk_capacity(),
             "transfer exceeds the shared-memory window; reconnect with a larger one"
+        );
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "session",
+            "memcpy_dtoh",
+            &[("bytes", len)],
         );
         let start = machine.clock().now();
         let nonce_start = self.dtoh_nonce;
@@ -357,9 +401,20 @@ impl HixSession {
             }
             Payload::from_bytes(out)
         };
+        // The user-enclave unsealing work rides the pipelined closed form
+        // below; charge it to its own category (recording only).
+        machine.trace().metrics().add("dma.bytes_decrypted", len);
+        machine.trace().emit_with(
+            machine.clock().now(),
+            model.enclave_crypt(len),
+            EventKind::EnclaveCrypto,
+            "unseal stream",
+            &[("bytes", len)],
+        );
         machine
             .clock()
             .advance_to(start + model.ipc_roundtrip + model.hix_dtoh(len));
+        obs.exit(span, machine.clock().now().as_nanos());
         Ok(payload)
     }
 

@@ -331,6 +331,7 @@ impl GpuDriver {
         }
         let addr = DevAddr(self.reg_read(machine, bar0::FAULT_ADDR)?);
         let ctx = CtxId(self.reg_read(machine, bar0::FAULT_CTX)? as u32);
+        machine.trace().metrics().inc("driver.page_faults");
         let key = self
             .allocations
             .range(..=(ctx.0, addr.value()))
@@ -483,7 +484,14 @@ impl GpuDriver {
         offset: u64,
         len: u64,
     ) -> Result<(), DriverError> {
-        self.submit(
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "driver",
+            "dma_htod",
+            &[("bytes", len)],
+        );
+        let result = self.submit(
             machine,
             &GpuCommand::DmaHtoD {
                 ctx,
@@ -491,7 +499,9 @@ impl GpuDriver {
                 va: dst,
                 len,
             },
-        )
+        );
+        obs.exit(span, machine.clock().now().as_nanos());
+        result
     }
 
     /// Queues a device→host DMA into a pinned buffer (`cuMemcpyDtoH`).
@@ -508,7 +518,14 @@ impl GpuDriver {
         offset: u64,
         len: u64,
     ) -> Result<(), DriverError> {
-        self.submit(
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "driver",
+            "dma_dtoh",
+            &[("bytes", len)],
+        );
+        let result = self.submit(
             machine,
             &GpuCommand::DmaDtoH {
                 ctx,
@@ -516,7 +533,9 @@ impl GpuDriver {
                 bus: dst.bus().offset(offset),
                 len,
             },
-        )
+        );
+        obs.exit(span, machine.clock().now().as_nanos());
+        result
     }
 
     /// "Loads a module": verifies the kernel binary exists on the device

@@ -131,6 +131,13 @@ impl Gdev {
         // Gdev's direct-I/O design DMAs straight from the (pinned,
         // reused) staging buffer; no extra host copy is charged. The
         // pageable path instead pays the staged-copy pipeline.
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "session",
+            "memcpy_htod",
+            &[("bytes", len)],
+        );
         let start = machine.clock().now();
         let pid = self.driver.pid();
         let staging = self.staging(machine, len).clone();
@@ -141,6 +148,7 @@ impl Gdev {
             let total = machine.model().pageable_transfer(len);
             machine.clock().advance_to(start + total);
         }
+        obs.exit(span, machine.clock().now().as_nanos());
         Ok(())
     }
 
@@ -158,6 +166,13 @@ impl Gdev {
         if len == 0 {
             return Ok(Payload::from_bytes(Vec::new()));
         }
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "session",
+            "memcpy_dtoh",
+            &[("bytes", len)],
+        );
         let start = machine.clock().now();
         let pid = self.driver.pid();
         let staging = self.staging(machine, len).clone();
@@ -167,6 +182,7 @@ impl Gdev {
             let total = machine.model().pageable_transfer(len);
             machine.clock().advance_to(start + total);
         }
+        obs.exit(span, machine.clock().now().as_nanos());
         if self.synthetic {
             return Ok(Payload::synthetic(len));
         }

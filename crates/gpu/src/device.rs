@@ -182,8 +182,18 @@ impl GpuDevice {
     }
 
     fn charge(&self, dt: Nanos, kind: EventKind, label: &'static str) {
+        self.charge_with(dt, kind, label, &[]);
+    }
+
+    fn charge_with(
+        &self,
+        dt: Nanos,
+        kind: EventKind,
+        label: &'static str,
+        attrs: &[(&'static str, u64)],
+    ) {
         self.clock.advance(dt);
-        self.trace.emit(self.clock.now(), dt, kind, label);
+        self.trace.emit_with(self.clock.now(), dt, kind, label, attrs);
     }
 
     /// Records a recoverable page fault (demand paging extension, §5.6
@@ -197,11 +207,13 @@ impl GpuDevice {
 
     fn set_error(&mut self, code: u32) {
         self.error = code;
-        self.trace.emit(
+        self.trace.metrics().inc("gpu.errors");
+        self.trace.emit_with(
             self.clock.now(),
             Nanos::ZERO,
-            EventKind::Other,
+            EventKind::Fault,
             "gpu error",
+            &[("code", code as u64)],
         );
     }
 
@@ -209,6 +221,7 @@ impl GpuDevice {
         if cmd.uses_engines() && self.engine_ctx != Some(cmd.ctx()) {
             if self.engine_ctx.is_some() {
                 self.charge(self.model.ctx_switch, EventKind::CtxSwitch, "gpu ctx switch");
+                self.trace.metrics().inc("gpu.ctx_switches");
                 self.ctx_switches += 1;
             }
             self.engine_ctx = Some(cmd.ctx());
@@ -241,10 +254,11 @@ impl GpuDevice {
                 if self.engine_ctx == Some(ctx) {
                     self.engine_ctx = None;
                 }
-                self.charge(
+                self.charge_with(
                     Nanos::for_throughput(bytes.max(1), VRAM_BW),
-                    EventKind::Other,
+                    EventKind::GpuMem,
                     "scrub ctx",
+                    &[("bytes", bytes)],
                 );
             }
             GpuCommand::MapPage { ctx, va, pa } => {
@@ -291,7 +305,13 @@ impl GpuDevice {
                 }
             }
             GpuCommand::DmaHtoD { ctx, bus, va, len } => {
-                self.charge(self.model.pcie_transfer(len), EventKind::Dma, "HtoD");
+                self.charge_with(
+                    self.model.pcie_transfer(len),
+                    EventKind::Dma,
+                    "HtoD",
+                    &[("bytes", len)],
+                );
+                self.trace.metrics().add("dma.bytes_htod", len);
                 if self.opts.synthetic {
                     return;
                 }
@@ -320,7 +340,13 @@ impl GpuDevice {
                 }
             }
             GpuCommand::DmaDtoH { ctx, va, bus, len } => {
-                self.charge(self.model.pcie_transfer(len), EventKind::Dma, "DtoH");
+                self.charge_with(
+                    self.model.pcie_transfer(len),
+                    EventKind::Dma,
+                    "DtoH",
+                    &[("bytes", len)],
+                );
+                self.trace.metrics().add("dma.bytes_dtoh", len);
                 if self.opts.synthetic {
                     return;
                 }
@@ -349,12 +375,13 @@ impl GpuDevice {
                 }
             }
             GpuCommand::CopyDtoD { ctx, src, dst, len } => {
-                self.charge(
+                self.charge_with(
                     // read + write traffic; saturate — a hostile length
                     // must cost time, never wrap (fuzzer-found).
                     Nanos::for_throughput(len.max(1).saturating_mul(2), VRAM_BW),
-                    EventKind::Other,
+                    EventKind::GpuMem,
                     "dtod copy",
+                    &[("bytes", len)],
                 );
                 if self.opts.synthetic {
                     return;
@@ -387,10 +414,11 @@ impl GpuDevice {
                 }
             }
             GpuCommand::Memset { ctx, va, len, value } => {
-                self.charge(
+                self.charge_with(
                     Nanos::for_throughput(len.max(1), VRAM_BW),
-                    EventKind::Other,
+                    EventKind::GpuMem,
                     "memset",
+                    &[("bytes", len)],
                 );
                 if self.opts.synthetic {
                     return;
@@ -421,6 +449,11 @@ impl GpuDevice {
                 };
                 let is_crypto = k.name().starts_with("hix.");
                 let cost = self.model.kernel_launch + k.cost(&self.model, &args);
+                self.trace.metrics().inc(if is_crypto {
+                    "gpu.crypto_launches"
+                } else {
+                    "gpu.kernel_launches"
+                });
                 self.charge(
                     cost,
                     if is_crypto { EventKind::GpuCrypto } else { EventKind::Kernel },

@@ -1,0 +1,103 @@
+//! # hix-obs — deterministic observability for the simulated stack
+//!
+//! The whole simulator is single-threaded and driven by a virtual clock,
+//! so observability can be exact: every span is stamped from the
+//! deterministic clock, collectors keep insertion order, and exports are
+//! rendered from integers only. Two same-seed runs therefore produce
+//! **byte-identical** traces, snapshots, and Perfetto JSON.
+//!
+//! Three pieces:
+//!
+//! * [`Obs`] — a span collector with two span flavors:
+//!   *charged* spans (a duration attributed to a category — these feed
+//!   the per-category accounting that `hix_sim::trace` exposes) and
+//!   *structural* spans (hierarchical enter/exit scopes that give the
+//!   Perfetto timeline its nesting without double-counting any time).
+//! * [`Metrics`] — a registry of named counters, gauges, and fixed-bucket
+//!   histograms with a stable text [`Metrics::snapshot`].
+//! * [`export`] — Chrome trace-event JSON (loadable in Perfetto /
+//!   `chrome://tracing`) and a plain-text phase-breakdown table for the
+//!   secure DMA pipeline.
+//!
+//! This crate sits below `hix-sim` in the dependency graph, so all
+//! timestamps here are raw `u64` nanoseconds of virtual time.
+//!
+//! ```
+//! use hix_obs::Obs;
+//! let obs = Obs::new();
+//! obs.set_recording(true);
+//! let sp = obs.enter(0, "session", "memcpy", &[("bytes", 4096)]);
+//! obs.charged(10, 90, "dma", "HtoD", &[("bytes", 4096)]);
+//! obs.exit(sp, 120);
+//! assert_eq!(obs.category_ns("dma"), 90);
+//! assert_eq!(obs.spans().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+mod span;
+
+pub use export::{chrome_trace_json, phase_table};
+pub use metrics::{Hist, Metrics, LATENCY_BOUNDS_NS};
+pub use span::{Obs, Span, SpanId};
+
+/// The percentile convention shared by `hix_sim::stats` and
+/// `hix_testkit::bench`: nearest-rank on an already **sorted** slice,
+/// `sorted[(len * pct / 100).min(len - 1)]`. `pct` 50 is the median
+/// (`sorted[len / 2]`), 0 the minimum, 100 the maximum. Returns `None`
+/// on an empty slice.
+///
+/// ```
+/// assert_eq!(hix_obs::percentile_sorted(&[1, 2, 3, 4], 50), Some(3));
+/// assert_eq!(hix_obs::percentile_sorted(&[1, 2, 3, 4], 95), Some(4));
+/// assert_eq!(hix_obs::percentile_sorted(&[], 50), None);
+/// ```
+pub fn percentile_sorted(sorted: &[u64], pct: u32) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = (sorted.len() * pct as usize / 100).min(sorted.len() - 1);
+    Some(sorted[idx])
+}
+
+/// Renders a nanosecond count with a human-scale unit (shared by the
+/// bench harnesses so all reports format alike).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_matches_bench_convention() {
+        // Mirrors testkit::bench: median = sorted[len/2],
+        // p95 = sorted[(len*95/100).min(len-1)].
+        for len in 1..40usize {
+            let v: Vec<u64> = (0..len as u64).collect();
+            assert_eq!(percentile_sorted(&v, 50), Some(v[len / 2]));
+            assert_eq!(
+                percentile_sorted(&v, 95),
+                Some(v[(len * 95 / 100).min(len - 1)])
+            );
+            assert_eq!(percentile_sorted(&v, 0), Some(0));
+            assert_eq!(percentile_sorted(&v, 100), Some(len as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(123), "123 ns");
+        assert_eq!(fmt_ns(45_000), "45.00 µs");
+        assert_eq!(fmt_ns(12_000_000), "12.00 ms");
+    }
+}

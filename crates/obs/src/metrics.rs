@@ -1,0 +1,302 @@
+//! Named counters, gauges, and fixed-bucket histograms with a stable,
+//! deterministic text snapshot.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Default histogram bucket upper bounds for latency values, in
+/// nanoseconds of virtual time (log10 ladder from 100 ns to 1 s; an
+/// implicit overflow bucket catches the rest).
+pub const LATENCY_BOUNDS_NS: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// A fixed-bucket histogram: cumulative-style buckets defined by static
+/// upper bounds plus an implicit overflow bucket, with total count and
+/// sum. All integer state — snapshots are bit-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    bounds: &'static [u64],
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Hist {
+    /// Creates an empty histogram over `bounds` (must be sorted
+    /// ascending).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds sorted");
+        Hist {
+            bounds,
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Renders `count=N sum=S le<bound>=n… inf=n` on one line.
+    fn render(&self, out: &mut String) {
+        out.push_str(&format!("count={} sum={}", self.count, self.sum));
+        for (i, n) in self.buckets.iter().enumerate() {
+            match self.bounds.get(i) {
+                Some(b) => out.push_str(&format!(" le{b}={n}")),
+                None => out.push_str(&format!(" inf={n}")),
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
+    /// Per-span-category latency histograms, keyed by the category's
+    /// static name so the hot charge path never allocates.
+    span_latency: Vec<(&'static str, Hist)>,
+}
+
+/// The shared, cheaply clonable metrics registry.
+///
+/// Naming scheme: dotted lowercase paths, `<subsystem>.<what>`
+/// (`pcie.cfg_writes_denied`, `dma.bytes_encrypted`, `ipc.msgs`).
+/// Snapshots list counters, gauges, then histograms, each sorted by
+/// name, so output is stable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<MetricsInner>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments counter `name` by 1.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn add(&self, name: &str, by: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                inner.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.inner.borrow_mut().gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.inner.borrow().gauges.get(name).copied()
+    }
+
+    /// Records `v` into histogram `name` with the default latency
+    /// buckets ([`LATENCY_BOUNDS_NS`]).
+    pub fn observe(&self, name: &str, v: u64) {
+        self.observe_with(name, &LATENCY_BOUNDS_NS, v);
+    }
+
+    /// Records `v` into histogram `name` over explicit `bounds` (the
+    /// bounds of the first observation win for a given name).
+    pub fn observe_with(&self, name: &str, bounds: &'static [u64], v: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.hists.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Hist::new(bounds);
+                h.observe(v);
+                inner.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// A copy of histogram `name`, if any observation was recorded.
+    pub fn hist(&self, name: &str) -> Option<Hist> {
+        self.inner.borrow().hists.get(name).cloned()
+    }
+
+    /// Records a charged-span duration into the per-category latency
+    /// histogram (`span.latency.<category>` in the snapshot). Static
+    /// category keys keep this allocation-free on the hot path.
+    pub(crate) fn observe_span_latency(&self, category: &'static str, dur_ns: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner
+            .span_latency
+            .iter_mut()
+            .find(|(c, _)| *c == category)
+        {
+            Some((_, h)) => h.observe(dur_ns),
+            None => {
+                let mut h = Hist::new(&LATENCY_BOUNDS_NS);
+                h.observe(dur_ns);
+                inner.span_latency.push((category, h));
+            }
+        }
+    }
+
+    /// The latency histogram for a span category, if any span was
+    /// charged to it.
+    pub fn span_latency(&self, category: &str) -> Option<Hist> {
+        self.inner
+            .borrow()
+            .span_latency
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// Renders the stable text snapshot: `counter`/`gauge`/`hist` lines,
+    /// each family sorted by metric name.
+    pub fn snapshot(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        for (name, v) in &inner.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &inner.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        let mut hists: BTreeMap<String, &Hist> = inner
+            .hists
+            .iter()
+            .map(|(n, h)| (n.clone(), h))
+            .collect();
+        for (category, h) in &inner.span_latency {
+            hists.insert(format!("span.latency.{category}"), h);
+        }
+        for (name, h) in hists {
+            out.push_str(&format!("hist {name} "));
+            h.render(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Resets every metric.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.hists.clear();
+        inner.span_latency.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = Metrics::new();
+        m.inc("ipc.msgs");
+        m.add("ipc.msgs", 2);
+        m.set_gauge("pcie.locked_devices", 3);
+        assert_eq!(m.counter("ipc.msgs"), 3);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge("pcie.locked_devices"), Some(3));
+        assert_eq!(m.gauge("never"), None);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Hist::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10); // boundary lands in its bucket (le semantics)
+        h.observe(50);
+        h.observe(1000); // overflow
+        assert_eq!(h.buckets(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let m = Metrics::new();
+        m.inc("z.last");
+        m.inc("a.first");
+        m.set_gauge("mid", 7);
+        m.observe("lat", 5_000);
+        let s1 = m.snapshot();
+        let s2 = m.snapshot();
+        assert_eq!(s1, s2, "snapshot must be deterministic");
+        let a = s1.find("counter a.first 1").unwrap();
+        let z = s1.find("counter z.last 1").unwrap();
+        assert!(a < z, "sorted: {s1}");
+        assert!(s1.contains("gauge mid 7"), "{s1}");
+        assert!(s1.contains("hist lat count=1 sum=5000"), "{s1}");
+        assert!(s1.contains("le10000=1"), "{s1}");
+        assert!(s1.contains(" inf=0"), "{s1}");
+    }
+
+    #[test]
+    fn span_latency_rides_in_the_snapshot() {
+        let m = Metrics::new();
+        m.observe_span_latency("dma", 50_000);
+        let s = m.snapshot();
+        assert!(s.contains("hist span.latency.dma count=1 sum=50000"), "{s}");
+        assert_eq!(m.span_latency("dma").unwrap().count(), 1);
+        assert!(m.span_latency("mmio").is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let m = Metrics::new();
+        m.inc("x");
+        m.observe("h", 1);
+        m.clear();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.hist("h").is_none());
+        assert!(m.snapshot().is_empty());
+    }
+}

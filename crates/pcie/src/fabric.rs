@@ -226,6 +226,7 @@ impl PcieFabric {
             .route_mem(addr)
             .ok_or(PcieError::NoDevice(Bdf::new(0, 0, 0)))?;
         self.clock.advance(self.model.mmio_read);
+        self.trace.metrics().inc("pcie.mmio_reads");
         self.trace
             .emit(self.clock.now(), self.model.mmio_read, EventKind::Mmio, "read");
         let slot = self.endpoints.get_mut(&bdf).expect("routed endpoint exists");
@@ -243,6 +244,7 @@ impl PcieFabric {
             .route_mem(addr)
             .ok_or(PcieError::NoDevice(Bdf::new(0, 0, 0)))?;
         self.clock.advance(self.model.mmio_write);
+        self.trace.metrics().inc("pcie.mmio_writes");
         self.trace
             .emit(self.clock.now(), self.model.mmio_write, EventKind::Mmio, "write");
         let slot = self.endpoints.get_mut(&bdf).expect("routed endpoint exists");
@@ -256,6 +258,7 @@ impl PcieFabric {
     ///
     /// Returns [`PcieError::NoDevice`] for an empty slot.
     pub fn config_read(&self, bdf: Bdf, offset: u16) -> Result<u32, PcieError> {
+        self.trace.metrics().inc("pcie.cfg_reads");
         if let Some(cfg) = self.bridges.get(&bdf) {
             return Ok(cfg.read(offset));
         }
@@ -276,12 +279,19 @@ impl PcieFabric {
     /// Returns [`PcieError::LockedDown`] for discarded writes and
     /// [`PcieError::NoDevice`] for empty slots.
     pub fn config_write(&mut self, bdf: Bdf, offset: u16, value: u32) -> Result<(), PcieError> {
+        self.trace.metrics().inc("pcie.cfg_writes");
         if self.is_locked_path(bdf) && classify_write(offset) == WriteClass::Routing {
-            self.trace.emit(
+            self.trace.metrics().inc("pcie.cfg_writes_denied");
+            self.trace.emit_with(
                 self.clock.now(),
                 hix_sim::Nanos::ZERO,
                 EventKind::Security,
                 "lockdown: config write discarded",
+                &[
+                    ("bus", bdf.bus as u64),
+                    ("device", bdf.device as u64),
+                    ("function", bdf.function as u64),
+                ],
             );
             return Err(PcieError::LockedDown(bdf));
         }
@@ -317,6 +327,9 @@ impl PcieFabric {
                 self.locked.push(bridge);
             }
         }
+        self.trace
+            .metrics()
+            .set_gauge("pcie.locked_devices", self.locked.len() as u64);
         self.trace.emit(
             self.clock.now(),
             hix_sim::Nanos::ZERO,
@@ -341,6 +354,9 @@ impl PcieFabric {
             .collect();
         self.locked
             .retain(|b| self.endpoints.contains_key(b) || needed.contains(b));
+        self.trace
+            .metrics()
+            .set_gauge("pcie.locked_devices", self.locked.len() as u64);
     }
 
     /// Whether `bdf` (endpoint or bridge) currently sits on a locked path.

@@ -304,11 +304,16 @@ impl Machine {
         let proc = self.procs.get_mut(&pid).expect("unknown process");
         let accessor = if proc.in_enclave { proc.enclave } else { None };
         if let Some(pte) = proc.tlb.lookup(va) {
+            self.trace.metrics().inc("mmu.tlb_hits");
             return Ok(pte);
         }
+        // Every TLB fill runs the hardware-walker validation (§4.3.1);
+        // count them so the page-walk MMIO check path is observable.
+        self.trace.metrics().inc("mmu.tlb_fills_checked");
         let pte = proc.page_table.walk(va).ok_or(AccessFault::NotMapped(va))?;
         let pa = pte.base();
         if !self.sgx.check_access(accessor, va, pa) {
+            self.trace.metrics().inc("mmu.fills_denied");
             self.trace.emit(
                 self.clock.now(),
                 Nanos::ZERO,
@@ -318,6 +323,7 @@ impl Machine {
             return Err(AccessFault::EpcDenied(va));
         }
         if !self.hix.check_access(accessor, va, pa) {
+            self.trace.metrics().inc("mmu.fills_denied");
             self.trace.emit(
                 self.clock.now(),
                 Nanos::ZERO,
@@ -497,11 +503,17 @@ impl Machine {
         self.hix
             .egcreate(enclave, initialized, bdf, is_hardware, &bars)?;
         self.fabric.lockdown(bdf).expect("owned device exists");
-        self.trace.emit(
+        self.trace.metrics().inc("hix.egcreate");
+        self.trace.emit_with(
             self.clock.now(),
             Nanos::ZERO,
             EventKind::Security,
             "EGCREATE: GPU enclave owns device",
+            &[
+                ("bus", bdf.bus as u64),
+                ("device", bdf.device as u64),
+                ("function", bdf.function as u64),
+            ],
         );
         Ok(())
     }
@@ -516,6 +528,7 @@ impl Machine {
         let enclave = self.proc(pid).enclave.expect("process has no enclave");
         let bdf = self.hix.owned_device(enclave).ok_or(HixError::NotOwner(enclave))?;
         self.hix.egadd(enclave, bdf, va, pa)?;
+        self.trace.metrics().inc("hix.egadd_pages");
         self.proc_mut(pid).page_table.map(
             VirtAddr::new(va.vpn() * PAGE_SIZE),
             PhysAddr::new(pa.value() & !(PAGE_SIZE - 1)),

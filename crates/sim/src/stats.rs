@@ -55,6 +55,27 @@ impl Samples {
         self.values.iter().copied().min().unwrap_or(Nanos::ZERO)
     }
 
+    /// Nearest-rank percentile, zero if empty. Shares the convention of
+    /// `hix_testkit::bench` via [`hix_obs::percentile_sorted`], so
+    /// figure harnesses and micro-benches report identically.
+    pub fn percentile(&self, pct: u32) -> Nanos {
+        let mut sorted: Vec<u64> = self.values.iter().map(|v| v.as_nanos()).collect();
+        sorted.sort_unstable();
+        hix_obs::percentile_sorted(&sorted, pct)
+            .map(Nanos::from_nanos)
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Median sample (zero if empty).
+    pub fn p50(&self) -> Nanos {
+        self.percentile(50)
+    }
+
+    /// 95th-percentile sample (zero if empty).
+    pub fn p95(&self) -> Nanos {
+        self.percentile(95)
+    }
+
     /// Maximum sample (zero if empty).
     pub fn max(&self) -> Nanos {
         self.values.iter().copied().max().unwrap_or(Nanos::ZERO)
@@ -120,6 +141,21 @@ mod tests {
         assert_eq!(s.mean(), Nanos::ZERO);
         assert_eq!(s.min(), Nanos::ZERO);
         assert_eq!(s.max(), Nanos::ZERO);
+        assert_eq!(s.p50(), Nanos::ZERO);
+        assert_eq!(s.p95(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn percentiles_use_the_shared_convention() {
+        // Insertion order must not matter: percentiles sort internally.
+        let s: Samples = [70u64, 10, 50, 30, 90, 20, 40, 80, 60, 100]
+            .into_iter()
+            .map(Nanos::from_nanos)
+            .collect();
+        assert_eq!(s.p50().as_nanos(), 60, "sorted[10/2]");
+        assert_eq!(s.p95().as_nanos(), 100, "sorted[(10*95/100).min(9)]");
+        assert_eq!(s.percentile(0), s.min());
+        assert_eq!(s.percentile(100), s.max());
     }
 
     #[test]

@@ -1,8 +1,16 @@
 //! Event tracing for debugging and per-category time accounting.
+//!
+//! Since the observability refactor this module is a thin,
+//! API-compatible facade over [`hix_obs`]: every [`Trace::emit`] becomes
+//! a *charged* span in the underlying [`Obs`] collector (feeding both
+//! the legacy per-category totals and the per-category latency
+//! histograms), and the collector additionally carries *structural*
+//! spans and a metrics registry that instrumented subsystems use
+//! directly. Reach them through [`Trace::obs`] and [`Trace::metrics`].
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+
+use hix_obs::{Metrics, Obs};
 
 use crate::time::Nanos;
 
@@ -30,13 +38,36 @@ pub enum EventKind {
     Attestation,
     /// Security-relevant control event (lockdown engaged, access denied…).
     Security,
+    /// On-device memory operations (scrub, memset, device-to-device copy).
+    GpuMem,
+    /// Device fault/error reporting (GPU error register raised).
+    Fault,
     /// Anything else.
     Other,
 }
 
-impl fmt::Display for EventKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; 13] = [
+        EventKind::Mmio,
+        EventKind::Dma,
+        EventKind::EnclaveCrypto,
+        EventKind::GpuCrypto,
+        EventKind::Kernel,
+        EventKind::CtxSwitch,
+        EventKind::Ipc,
+        EventKind::Init,
+        EventKind::Attestation,
+        EventKind::Security,
+        EventKind::GpuMem,
+        EventKind::Fault,
+        EventKind::Other,
+    ];
+
+    /// The stable category name used as the span category in `hix-obs`
+    /// (and therefore in exported traces and metric names).
+    pub const fn as_str(self) -> &'static str {
+        match self {
             EventKind::Mmio => "mmio",
             EventKind::Dma => "dma",
             EventKind::EnclaveCrypto => "enclave-crypto",
@@ -47,9 +78,21 @@ impl fmt::Display for EventKind {
             EventKind::Init => "init",
             EventKind::Attestation => "attestation",
             EventKind::Security => "security",
+            EventKind::GpuMem => "gpu-mem",
+            EventKind::Fault => "fault",
             EventKind::Other => "other",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn from_category(category: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.as_str() == category)
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -66,13 +109,6 @@ pub struct Event {
     pub label: String,
 }
 
-#[derive(Debug, Default)]
-struct TraceInner {
-    events: Vec<Event>,
-    recording: bool,
-    totals: Vec<(EventKind, Nanos, u64)>,
-}
-
 /// A shared, cheaply clonable event trace.
 ///
 /// Recording of full events is off by default (accounting totals are always
@@ -83,10 +119,11 @@ struct TraceInner {
 /// let t = Trace::new();
 /// t.emit(Nanos::from_micros(1), Nanos::from_micros(1), EventKind::Dma, "HtoD");
 /// assert_eq!(t.total(EventKind::Dma), Nanos::from_micros(1));
+/// assert_eq!(t.obs().category_ns("dma"), 1_000);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    inner: Rc<RefCell<TraceInner>>,
+    obs: Obs,
 }
 
 impl Trace {
@@ -95,74 +132,84 @@ impl Trace {
         Trace::default()
     }
 
+    /// The underlying span collector (structural spans, exports).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The metrics registry shared with the span collector.
+    pub fn metrics(&self) -> &Metrics {
+        self.obs.metrics()
+    }
+
     /// Enables or disables full event recording.
     pub fn set_recording(&self, on: bool) {
-        self.inner.borrow_mut().recording = on;
+        self.obs.set_recording(on);
     }
 
     /// Emits an event completing at `at` with the given `duration`.
     pub fn emit(&self, at: Nanos, duration: Nanos, kind: EventKind, label: impl Into<String>) {
-        let mut inner = self.inner.borrow_mut();
-        match inner.totals.iter_mut().find(|(k, _, _)| *k == kind) {
-            Some((_, total, count)) => {
-                *total += duration;
-                *count += 1;
-            }
-            None => inner.totals.push((kind, duration, 1)),
-        }
-        if inner.recording {
-            let label = label.into();
-            inner.events.push(Event {
-                at,
-                duration,
-                kind,
-                label,
-            });
-        }
+        self.emit_with(at, duration, kind, label, &[]);
+    }
+
+    /// [`Trace::emit`] with numeric span attributes (bytes moved, ids…)
+    /// that ride into the exported trace.
+    pub fn emit_with(
+        &self,
+        at: Nanos,
+        duration: Nanos,
+        kind: EventKind,
+        label: impl Into<String>,
+        attrs: &[(&'static str, u64)],
+    ) {
+        // `at` is the completion time; the span starts `duration` earlier.
+        let start = at.as_nanos().saturating_sub(duration.as_nanos());
+        self.obs
+            .charged(start, duration.as_nanos(), kind.as_str(), label, attrs);
     }
 
     /// Total time charged to `kind` so far.
     pub fn total(&self, kind: EventKind) -> Nanos {
-        self.inner
-            .borrow()
-            .totals
-            .iter()
-            .find(|(k, _, _)| *k == kind)
-            .map(|(_, t, _)| *t)
-            .unwrap_or(Nanos::ZERO)
+        Nanos::from_nanos(self.obs.category_ns(kind.as_str()))
     }
 
     /// Number of events charged to `kind` so far.
     pub fn count(&self, kind: EventKind) -> u64 {
-        self.inner
-            .borrow()
-            .totals
-            .iter()
-            .find(|(k, _, _)| *k == kind)
-            .map(|(_, _, c)| *c)
-            .unwrap_or(0)
+        self.obs.category_count(kind.as_str())
     }
 
     /// Snapshot of recorded events (empty unless recording was enabled).
+    /// Structural spans recorded by instrumentation are not events and
+    /// are skipped; see [`Trace::obs`] for the full span view.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.borrow().events.clone()
+        self.obs
+            .spans()
+            .into_iter()
+            .filter(|s| s.charged)
+            .map(|s| Event {
+                at: Nanos::from_nanos(s.end_ns),
+                duration: Nanos::from_nanos(s.dur_ns()),
+                kind: EventKind::from_category(s.category).unwrap_or(EventKind::Other),
+                label: s.name,
+            })
+            .collect()
     }
 
-    /// Clears events and totals.
+    /// Clears events, totals, structural spans, and metrics.
     pub fn clear(&self) {
-        let mut inner = self.inner.borrow_mut();
-        inner.events.clear();
-        inner.totals.clear();
+        self.obs.clear();
     }
 
     /// Renders an accounting summary sorted by descending total time.
     pub fn summary(&self) -> String {
-        let inner = self.inner.borrow();
-        let mut rows = inner.totals.clone();
+        let mut rows = self.obs.totals();
         rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         let mut out = String::new();
-        for (kind, total, count) in rows {
-            out.push_str(&format!("{kind:>16}: {total} ({count} events)\n"));
+        for (category, total, count) in rows {
+            out.push_str(&format!(
+                "{category:>16}: {} ({count} events)\n",
+                Nanos::from_nanos(total)
+            ));
         }
         out
     }
@@ -189,11 +236,13 @@ mod tests {
     fn recording_captures_events() {
         let t = Trace::new();
         t.set_recording(true);
-        t.emit(Nanos::from_nanos(1), Nanos::from_nanos(2), EventKind::Ipc, "req");
+        t.emit(Nanos::from_nanos(3), Nanos::from_nanos(2), EventKind::Ipc, "req");
         let evs = t.events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].label, "req");
         assert_eq!(evs[0].kind, EventKind::Ipc);
+        assert_eq!(evs[0].at.as_nanos(), 3, "completion time preserved");
+        assert_eq!(evs[0].duration.as_nanos(), 2);
     }
 
     #[test]
@@ -222,5 +271,54 @@ mod tests {
         let b = a.clone();
         a.emit(Nanos::ZERO, Nanos::from_nanos(4), EventKind::Init, "i");
         assert_eq!(b.total(EventKind::Init).as_nanos(), 4);
+    }
+
+    #[test]
+    fn category_names_roundtrip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_category(kind.as_str()), Some(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert_eq!(EventKind::from_category("no-such-kind"), None);
+    }
+
+    #[test]
+    fn events_skip_structural_spans() {
+        let t = Trace::new();
+        t.set_recording(true);
+        let sp = t.obs().enter(0, "session", "scope", &[]);
+        t.emit(Nanos::from_nanos(5), Nanos::from_nanos(5), EventKind::Dma, "d");
+        t.obs().exit(sp, 9);
+        assert_eq!(t.events().len(), 1, "only the charged span is an event");
+        assert_eq!(t.obs().spans().len(), 2);
+    }
+
+    #[test]
+    fn emit_feeds_latency_histogram_and_snapshot() {
+        let t = Trace::new();
+        t.emit(Nanos::from_micros(2), Nanos::from_micros(2), EventKind::Dma, "d");
+        let h = t.metrics().span_latency("dma").expect("histogram exists");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 2_000);
+        let snap = t.obs().snapshot();
+        assert!(snap.contains("span.ns.dma 2000"), "{snap}");
+        // The snapshot reconciles with the legacy accounting by
+        // construction: same accumulator.
+        assert_eq!(t.total(EventKind::Dma).as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn emit_with_attaches_attrs() {
+        let t = Trace::new();
+        t.set_recording(true);
+        t.emit_with(
+            Nanos::from_nanos(8),
+            Nanos::from_nanos(8),
+            EventKind::Dma,
+            "HtoD",
+            &[("bytes", 4096)],
+        );
+        let spans = t.obs().spans();
+        assert_eq!(spans[0].attrs, vec![("bytes", 4096)]);
     }
 }

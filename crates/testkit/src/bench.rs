@@ -78,11 +78,12 @@ impl Bench {
             samples.push((t0.elapsed().as_nanos() as u64 / iters).max(1));
         }
         samples.sort_unstable();
+        // Percentile convention shared with `hix_sim::stats::Samples`.
         let m = Measurement {
             name: self.name,
             iters,
-            median_ns: samples[samples.len() / 2],
-            p95_ns: samples[(samples.len() * 95 / 100).min(samples.len() - 1)],
+            median_ns: hix_obs::percentile_sorted(&samples, 50).expect("BATCHES > 0"),
+            p95_ns: hix_obs::percentile_sorted(&samples, 95).expect("BATCHES > 0"),
             min_ns: samples[0],
             throughput_bytes: self.throughput_bytes,
         };
@@ -138,15 +139,7 @@ impl std::fmt::Display for Measurement {
     }
 }
 
-fn fmt_ns(ns: u64) -> String {
-    if ns >= 10_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else if ns >= 10_000 {
-        format!("{:.2} µs", ns as f64 / 1e3)
-    } else {
-        format!("{ns} ns")
-    }
-}
+use hix_obs::fmt_ns;
 
 #[cfg(test)]
 mod tests {

@@ -15,8 +15,19 @@ if grep -E 'hix-testkit.*generated [0-9]+ warning' "$build_log"; then
     echo "error: cargo build emitted warnings in hix-testkit" >&2
     exit 1
 fi
+# Same bar for the observability crate: it sits below every other crate
+# and is threaded through all hot paths.
+if grep -E 'hix-obs.*generated [0-9]+ warning' "$build_log"; then
+    echo "error: cargo build emitted warnings in hix-obs" >&2
+    exit 1
+fi
 
 cargo test -q --offline
+
+# Observability smoke test: trace_report exports a Perfetto trace from
+# both stacks and exits non-zero on an empty trace, accounting drift, or
+# a non-deterministic same-seed run.
+cargo run -q --release --offline -p hix-bench --bin trace_report target/trace-report
 
 # Table 2 re-runs the attack-scenario suite and the per-crate TCB LoC
 # accounting (non-fatal here: the test suite above already gates it).

@@ -27,13 +27,18 @@ fn rig() -> Machine {
 
 /// Renders everything observable about one machine run: the full event
 /// trace (every event's completion time, duration, kind, and label),
-/// the per-category accounting summary, and the final virtual clock.
+/// the per-category accounting summary, the final virtual clock, and
+/// the exported observability artifacts (Perfetto JSON + metrics
+/// snapshot) — the exports themselves must be bit-for-bit reproducible.
 fn render(m: &Machine, tag: &str, out: &mut String) {
     writeln!(out, "=== {tag} @ {}", m.clock().now()).unwrap();
     for ev in m.trace().events() {
         writeln!(out, "{:?}", ev).unwrap();
     }
     out.push_str(&m.trace().summary());
+    out.push_str(&hix_obs::chrome_trace_json(&m.trace().obs().spans(), tag));
+    out.push('\n');
+    out.push_str(&m.trace().obs().snapshot());
 }
 
 /// Runs both stacks (Gdev baseline + full HIX) over a workload, at a

@@ -6,6 +6,9 @@ use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
 use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
 use hix_driver::Gdev;
 use hix_sim::{EventKind, Nanos, Payload};
+use hix_workloads::exec::{GdevExec, HixExec};
+use hix_workloads::matrix::{MatrixAdd, MatrixMul};
+use hix_workloads::{all_kernels, Workload};
 
 #[test]
 fn hix_run_charges_gpu_crypto_and_dma() {
@@ -48,6 +51,71 @@ fn gdev_run_charges_no_gpu_crypto() {
         "the insecure baseline runs no crypto kernels"
     );
     assert!(m.trace().total(EventKind::Dma) > Nanos::ZERO);
+}
+
+#[test]
+fn figure_harness_runs_emit_no_catchall_events() {
+    // Every event in a full figure-style run must carry a precise kind:
+    // `Other` is a catch-all for uninstrumented code and `Fault` marks
+    // device errors — both must stay at zero on the happy path.
+    for workload in [&MatrixAdd as &dyn Workload, &MatrixMul] {
+        let n = workload.test_size();
+
+        let mut m = standard_rig(RigOptions {
+            kernels: all_kernels(),
+            ..RigOptions::default()
+        });
+        let pid = m.create_process();
+        let mut gdev = Gdev::open(&mut m, pid, GPU_BDF).unwrap();
+        workload.run(&mut m, &mut GdevExec::new(&mut gdev), n).unwrap();
+        gdev.close(&mut m).unwrap();
+        assert_eq!(m.trace().count(EventKind::Other), 0, "gdev {}", workload.name());
+        assert_eq!(m.trace().count(EventKind::Fault), 0, "gdev {}", workload.name());
+
+        let mut m = standard_rig(RigOptions {
+            kernels: all_kernels(),
+            ..RigOptions::default()
+        });
+        let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        workload
+            .run(&mut m, &mut HixExec::new(&mut s, &mut enclave), n)
+            .unwrap();
+        s.close(&mut m, &mut enclave).unwrap();
+        assert_eq!(m.trace().count(EventKind::Other), 0, "hix {}", workload.name());
+        assert_eq!(m.trace().count(EventKind::Fault), 0, "hix {}", workload.name());
+    }
+}
+
+#[test]
+fn span_accounting_reconciles_with_legacy_totals() {
+    // The obs span accumulator IS the accounting source of truth: for
+    // every category the legacy `Trace::total`/`count` answers and the
+    // `span.ns.*`/`span.count.*` snapshot lines must agree exactly.
+    let mut m = standard_rig(RigOptions {
+        kernels: all_kernels(),
+        ..RigOptions::default()
+    });
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+    MatrixMul
+        .run(&mut m, &mut HixExec::new(&mut s, &mut enclave), MatrixMul.test_size())
+        .unwrap();
+    s.close(&mut m, &mut enclave).unwrap();
+
+    let snapshot = m.trace().obs().snapshot();
+    for kind in EventKind::ALL {
+        let ns = m.trace().total(kind).as_nanos();
+        let count = m.trace().count(kind);
+        assert_eq!(m.trace().obs().category_ns(kind.as_str()), ns, "{kind}");
+        assert_eq!(m.trace().obs().category_count(kind.as_str()), count, "{kind}");
+        if count > 0 {
+            assert!(
+                snapshot.contains(&format!("span.ns.{kind} {ns}")),
+                "snapshot must carry the exact {kind} total:\n{snapshot}"
+            );
+        }
+    }
 }
 
 #[test]
