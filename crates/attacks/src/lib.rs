@@ -428,6 +428,128 @@ pub fn bulk_replay_attack() -> ScenarioReport {
     }
 }
 
+/// Reliability extra: the bulk-replay attack repeated `n` times
+/// mid-stream while a fault plan batters the channel between rounds.
+/// Every round must be detected and aborted, every aborted session's
+/// GPU context and staging VRAM must be reclaimed at the next admission
+/// (no resource creep across aborts), and the healthy transfer opening
+/// each round must complete despite the active faults.
+pub fn repeated_bulk_replay_under_faults(n: u32) -> ScenarioReport {
+    use hix_core::protocol::Request;
+    use hix_sim::fault::{FaultConfig, FaultPlan};
+    let (mut m, mut enclave) = rig_with_enclave();
+    let mut failures: Vec<String> = Vec::new();
+    for round in 0..n {
+        // Background noise for the legitimate traffic of this round.
+        m.set_fault_plan(FaultPlan::new(0xA77A_C4 + round as u64, FaultConfig::light()));
+        let mut s = match HixSession::connect(&mut m, &mut enclave) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!("round {round}: connect failed: {e}"));
+                break;
+            }
+        };
+        let dev = s.malloc(&mut m, &mut enclave, 4096).expect("malloc");
+        s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(vec![round as u8; 4096]))
+            .expect("transfer under faults");
+        let bulk_bus = s.shared_bus().offset(hix_core::channel::BULK_OFFSET);
+        let pa = m
+            .iommu_mut()
+            .translate(PhysAddr::new(bulk_bus.value() & !(PAGE_SIZE - 1)))
+            .expect("mapped")
+            .offset(bulk_bus.value() % PAGE_SIZE);
+        let mut snapshot = vec![0u8; 4096 + 16];
+        m.os_read_phys(pa, &mut snapshot);
+        // Precision phase: the replay splice itself runs without
+        // background faults so the verdict is about the replay, not the
+        // weather.
+        m.clear_fault_plan();
+        let dev2 = s.malloc(&mut m, &mut enclave, 4096).expect("malloc");
+        let chunk = m.model().pipeline_chunk;
+        let req = Request::MemcpyHtoD { dst: dev2, len: 4096, chunk, nonce_start: 1 };
+        m.os_write_phys(pa, &snapshot);
+        s.send_raw_request_for_test(&mut m, &req.encode()).expect("raw send");
+        match enclave.poll(&mut m, s.id()) {
+            Err(HixCoreError::IntegrityFailure) => {}
+            Ok(_) => failures.push(format!("round {round}: stale data accepted")),
+            Err(e) => failures.push(format!("round {round}: unexpected failure mode: {e}")),
+        }
+        // The aborted session is abandoned without close; the next
+        // round's admission must reap it.
+    }
+    m.clear_fault_plan();
+    // Only the final aborted session may still await reaping.
+    if enclave.session_count() > 1 {
+        failures.push(format!(
+            "aborted sessions leak: {} still held",
+            enclave.session_count()
+        ));
+    }
+    let reaped = m.trace().metrics().counter("enclave.sessions_reaped");
+    if n > 1 && reaped < u64::from(n) - 1 {
+        failures.push(format!("expected ≥{} reaps, saw {reaped}", n - 1));
+    }
+    let verdict = if failures.is_empty() {
+        Verdict::Blocked {
+            mechanism: "per-chunk nonces detect every replay; aborted sessions are reaped on re-admission",
+        }
+    } else {
+        Verdict::Breached { detail: failures.join("; ") }
+    };
+    ScenarioReport {
+        figure_point: 0,
+        name: "repeated bulk replay under faults",
+        attack: "splice stale sealed chunks into successive sessions on a faulty wire",
+        verdict,
+    }
+}
+
+/// Reliability extra: kill-and-reclaim repeated `n` times across cold
+/// boots — the GECS lockdown must re-arm identically every cycle, with
+/// no state bleeding from the previous owner's death.
+pub fn repeated_kill_and_reclaim(n: u32) -> ScenarioReport {
+    let mut m = standard_rig(RigOptions::default());
+    let mut failures: Vec<String> = Vec::new();
+    for round in 0..n {
+        let enclave = match GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()) {
+            Ok(e) => e,
+            Err(e) => {
+                failures.push(format!("round {round}: relaunch after boot failed: {e}"));
+                break;
+            }
+        };
+        m.kill_process(enclave.pid());
+        match GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()) {
+            Err(HixCoreError::Hix(HixError::AlreadyOwned(_))) => {}
+            Ok(_) => failures.push(format!("round {round}: impostor took the GPU")),
+            Err(e) => failures.push(format!("round {round}: wrong refusal: {e}")),
+        }
+        m.cold_boot();
+    }
+    let verdict = if failures.is_empty() {
+        Verdict::Blocked {
+            mechanism: "GECS ownership survives owner death and re-arms after every cold boot",
+        }
+    } else {
+        Verdict::Breached { detail: failures.join("; ") }
+    };
+    ScenarioReport {
+        figure_point: 2,
+        name: "repeated kill & reclaim",
+        attack: "cycle kill/impostor/cold-boot to find lockdown state that fails to re-arm",
+        verdict,
+    }
+}
+
+/// Runs the repeated-stress variants (`n` rounds each) — the soak-side
+/// companion to [`run_all`].
+pub fn run_repeated(n: u32) -> Vec<ScenarioReport> {
+    vec![
+        repeated_bulk_replay_under_faults(n),
+        repeated_kill_and_reclaim(n),
+    ]
+}
+
 /// Runs every scenario (the Fig. 10 sweep).
 pub fn run_all() -> Vec<ScenarioReport> {
     vec![
@@ -500,6 +622,18 @@ mod tests {
     #[test]
     fn bulk_replay_rejected() {
         assert!(bulk_replay_attack().verdict.held());
+    }
+
+    #[test]
+    fn repeated_replay_rounds_all_detected_and_reaped() {
+        let r = repeated_bulk_replay_under_faults(3);
+        assert!(r.verdict.held(), "{:?}", r.verdict);
+    }
+
+    #[test]
+    fn repeated_kill_cycles_all_blocked() {
+        let r = repeated_kill_and_reclaim(3);
+        assert!(r.verdict.held(), "{:?}", r.verdict);
     }
 
     #[test]

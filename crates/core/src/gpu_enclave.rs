@@ -369,6 +369,9 @@ impl GpuEnclave {
         user_rng: &mut HmacDrbg,
         shared: DmaBuffer,
     ) -> Result<(SessionId, [u8; 16], [u8; 16]), HixCoreError> {
+        // Aborted sessions hold a GPU context and staging VRAM until
+        // someone notices; admission is the natural point to reclaim.
+        self.reap_aborted(machine);
         let init = machine.model().task_init(ExecMode::Hix);
         machine.clock().advance(init);
         machine.trace().metrics().inc("enclave.sessions_accepted");
@@ -404,6 +407,65 @@ impl GpuEnclave {
         Ok((id, channel_key, keys.user))
     }
 
+    /// Re-runs the key agreement for an existing session and swings its
+    /// endpoint onto the fresh key — the recovery escalation when the
+    /// channel's wire state desynchronized beyond the replay window.
+    /// Returns the new channel key (the user derives the same value on
+    /// its side of the simulated exchange). The bulk data key is
+    /// untouched: only the control channel re-keys.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sessions are a protocol error; aborted sessions stay
+    /// aborted.
+    pub fn rekey_session(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+        user_rng: &mut HmacDrbg,
+    ) -> Result<[u8; 16], HixCoreError> {
+        let user_pid = {
+            let state = self.sessions.get(&session).ok_or_else(|| {
+                HixCoreError::Protocol(format!("unknown session {session}"))
+            })?;
+            if state.aborted {
+                return Err(HixCoreError::IntegrityFailure);
+            }
+            state.user_pid
+        };
+        let key = attest::pairwise_channel_key(machine, user_pid, self.pid, user_rng, &mut self.rng)?;
+        let state = self.sessions.get_mut(&session).expect("checked above");
+        state.endpoint.rekey(key);
+        machine.trace().metrics().inc("recovery.rekeys");
+        machine.trace().emit(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Security,
+            "session re-key after channel desync",
+        );
+        Ok(key)
+    }
+
+    /// Frees the GPU context and staging VRAM of sessions that aborted
+    /// on an integrity failure. Without this, every aborted session
+    /// leaks its resources for the life of the enclave.
+    fn reap_aborted(&mut self, machine: &mut Machine) {
+        let dead: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.aborted)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            let s = self.sessions.remove(&id).expect("listed above");
+            // Scrub on free: the staging buffer saw sealed chunks only,
+            // but the context's other allocations may hold plaintext.
+            let _ = self.driver.free(machine, s.ctx, s.staging, true);
+            let _ = self.driver.destroy_ctx(machine, s.ctx);
+            machine.trace().metrics().inc("enclave.sessions_reaped");
+        }
+    }
+
     /// Serves one pending request on `session` (the message-queue wakeup
     /// of §4.4.1). Returns `Ok(true)` if a request was served.
     ///
@@ -421,6 +483,27 @@ impl GpuEnclave {
         let body = match state.endpoint.recv_request(machine) {
             Ok(body) => body,
             Err(ChannelError::Empty) => return Ok(false),
+            Err(ChannelError::Duplicate) => {
+                // The user retransmitted an already-served request (its
+                // response was lost): re-send the cached response, never
+                // re-execute.
+                machine.trace().metrics().inc("recovery.dup_served");
+                let resent = state.endpoint.resend_response(machine)?;
+                return Ok(resent);
+            }
+            Err(ChannelError::Tampered | ChannelError::Malformed) => {
+                // An unauthenticated or unparsable frame is the OS's
+                // problem, not ours: log it and wait for the sender's
+                // retransmission to overwrite the slot.
+                machine.trace().metrics().inc("recovery.msgs_discarded");
+                machine.trace().emit(
+                    machine.clock().now(),
+                    Nanos::ZERO,
+                    EventKind::Security,
+                    "discard unauthenticated channel frame",
+                );
+                return Ok(false);
+            }
             Err(e) => return Err(e.into()),
         };
         let request = Request::decode(&body)
@@ -503,27 +586,58 @@ impl GpuEnclave {
                 machine.trace().metrics().add("dma.bytes_decrypted", len);
                 let buffer = state.endpoint.buffer().clone();
                 // Single copy: DMA the sealed stream straight into the
-                // destination buffer, then one in-GPU decrypt launch.
-                let copy = self
-                    .driver
-                    .dma_htod(machine, ctx, dst, &buffer, BULK_OFFSET, sealed_len)
-                    .and_then(|()| self.driver.sync(machine))
-                    .and_then(|()| {
-                        self.driver.launch(
-                            machine,
-                            ctx,
-                            DECRYPT_STREAM_KERNEL,
-                            &[dst.value(), len, chunk, nonce_start],
-                        )
-                    })
-                    .and_then(|()| self.driver.sync(machine));
-                match copy {
-                    Ok(()) => Response::Ok,
-                    Err(DriverError::Gpu(code)) if code == errcode::INTEGRITY => {
-                        self.sessions.get_mut(&session).expect("session").aborted = true;
-                        return Err(HixCoreError::IntegrityFailure);
+                // destination buffer, then one in-GPU decrypt launch. A
+                // MAC failure may be a transient DMA corruption (the OS
+                // owns the fabric): re-DMA up to the retry budget before
+                // declaring the data hostile and aborting the session.
+                const MAX_DMA_ATTEMPTS: u32 = 3;
+                let mut attempt = 0u32;
+                loop {
+                    let flip = if attempt == 0 {
+                        sample_and_apply_flip(machine, &buffer, sealed_len)
+                    } else {
+                        None
+                    };
+                    let copy = self
+                        .driver
+                        .dma_htod(machine, ctx, dst, &buffer, BULK_OFFSET, sealed_len)
+                        .and_then(|()| self.driver.sync(machine))
+                        .and_then(|()| {
+                            self.driver.launch(
+                                machine,
+                                ctx,
+                                DECRYPT_STREAM_KERNEL,
+                                &[dst.value(), len, chunk, nonce_start],
+                            )
+                        })
+                        .and_then(|()| self.driver.sync(machine));
+                    // The in-flight flip hit only this DMA pass; the
+                    // staged sealed bytes themselves are intact again
+                    // for the retry.
+                    if let Some((off, orig)) = flip {
+                        restore_flipped_byte(machine, &buffer, off, orig);
                     }
-                    Err(e) => Response::Err(e.to_string()),
+                    match copy {
+                        Ok(()) => break Response::Ok,
+                        Err(DriverError::Gpu(code)) if code == errcode::INTEGRITY => {
+                            attempt += 1;
+                            if attempt < MAX_DMA_ATTEMPTS {
+                                machine.trace().metrics().inc("recovery.redma");
+                                machine.trace().emit(
+                                    machine.clock().now(),
+                                    Nanos::ZERO,
+                                    EventKind::Security,
+                                    "chunk MAC failure; re-DMA",
+                                );
+                                continue;
+                            }
+                            // Persistent corruption: hostile data, not a
+                            // transient fault.
+                            self.sessions.get_mut(&session).expect("session").aborted = true;
+                            return Err(HixCoreError::IntegrityFailure);
+                        }
+                        Err(e) => break Response::Err(e.to_string()),
+                    }
                 }
             }
             Request::MemcpyDtoH { src, len, chunk, nonce_start } => {
@@ -695,6 +809,40 @@ impl GpuEnclave {
     /// The user process bound to a session (diagnostics).
     pub fn session_user(&self, session: SessionId) -> Option<ProcessId> {
         self.sessions.get(&session).map(|s| s.user_pid)
+    }
+}
+
+/// Rolls the fault plan's DMA-flip dice and, on a hit, flips one byte of
+/// the staged sealed stream via physical access (modeling in-flight DMA
+/// corruption on the OS-owned fabric). Returns the offset and original
+/// byte so the caller can undo the flip after the DMA pass — transient
+/// corruption hits the wire, not the staged data.
+fn sample_and_apply_flip(
+    machine: &mut Machine,
+    buffer: &DmaBuffer,
+    sealed_len: u64,
+) -> Option<(u64, u8)> {
+    let plan = machine.fault_plan()?;
+    let (off, xor) = plan.sample_dma_flip(sealed_len)?;
+    let pa = machine.iommu_mut().translate(buffer.bus().offset(BULK_OFFSET + off))?;
+    let mut orig = [0u8; 1];
+    machine.os_read_phys(pa, &mut orig);
+    machine.os_write_phys(pa, &[orig[0] ^ xor]);
+    machine.trace().metrics().inc("fault.injected");
+    machine.trace().metrics().inc("fault.injected.dma_flip");
+    machine.trace().emit(
+        machine.clock().now(),
+        Nanos::ZERO,
+        EventKind::Fault,
+        format!("inject dma_flip at +{off}"),
+    );
+    Some((off, orig[0]))
+}
+
+/// Undoes [`sample_and_apply_flip`].
+fn restore_flipped_byte(machine: &mut Machine, buffer: &DmaBuffer, off: u64, orig: u8) {
+    if let Some(pa) = machine.iommu_mut().translate(buffer.bus().offset(BULK_OFFSET + off)) {
+        machine.os_write_phys(pa, &[orig]);
     }
 }
 

@@ -112,12 +112,41 @@ pub fn run_multiuser(
     run_multiuser_mixed(model, &specs, mode)
 }
 
+/// Per-session fault burden for [`run_multiuser_degraded`]: what the
+/// recovery machinery cost this user, expressed in the same summary
+/// terms as [`TaskSpec`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionFaults {
+    /// Extra host-side time this session lost to channel recovery
+    /// (retransmission backoff, re-key round trips).
+    pub recovery: Nanos,
+    /// If set, the session aborts after this much of its GPU work (an
+    /// integrity failure killed it): remaining GPU segments are dropped
+    /// and the user's completion reflects only the work done.
+    pub abort_after: Option<Nanos>,
+}
+
 /// Runs heterogeneous user tasks concurrently.
 pub fn run_multiuser_mixed(
     model: &CostModel,
     specs: &[TaskSpec],
     mode: Mode,
 ) -> MultiUserOutcome {
+    let faults = vec![SessionFaults::default(); specs.len()];
+    run_multiuser_degraded(model, specs, mode, &faults)
+}
+
+/// Runs heterogeneous user tasks concurrently, each carrying its own
+/// fault burden. Degradation is strictly per-session: one user's
+/// recovery stalls (or death) must never inflate another user's
+/// completion beyond ordinary GPU queueing.
+pub fn run_multiuser_degraded(
+    model: &CostModel,
+    specs: &[TaskSpec],
+    mode: Mode,
+    faults: &[SessionFaults],
+) -> MultiUserOutcome {
+    assert_eq!(specs.len(), faults.len(), "one fault burden per user");
     struct UserState {
         segments: Vec<Segment>,
         next: usize,
@@ -134,16 +163,42 @@ pub fn run_multiuser_mixed(
                 Mode::Gdev => gdev_segments(model, spec, u as u32),
                 Mode::Hix => hix_segments(model, spec, u as u32),
             };
+            let f = faults[u];
+            let mut raw = raw;
+            if f.recovery > Nanos::ZERO {
+                // Recovery is host-side work (the user spinning on its
+                // channel): it delays this user's GPU submissions but
+                // holds no GPU resource.
+                raw.insert(1, Segment::Host(f.recovery));
+            }
             let mut segments = Vec::new();
+            let mut gpu_done = Nanos::ZERO;
+            let mut dead = false;
             for seg in raw {
+                if dead {
+                    break;
+                }
                 match seg {
                     Segment::Host(_) => segments.push(seg),
                     Segment::Gpu(mut d, ctx) => {
                         while d > quantum {
                             segments.push(Segment::Gpu(quantum, ctx));
                             d -= quantum;
+                            gpu_done += quantum;
+                            if f.abort_after.is_some_and(|limit| gpu_done > limit) {
+                                dead = true;
+                            }
+                            if dead {
+                                break;
+                            }
                         }
-                        segments.push(Segment::Gpu(d, ctx));
+                        if !dead {
+                            segments.push(Segment::Gpu(d, ctx));
+                            gpu_done += d;
+                            if f.abort_after.is_some_and(|limit| gpu_done > limit) {
+                                dead = true;
+                            }
+                        }
                     }
                 }
             }
@@ -250,6 +305,53 @@ mod tests {
         let out = run_multiuser_mixed(&model, &[spec(), big], Mode::Hix);
         assert_eq!(out.completions.len(), 2);
         assert!(out.completions[0] <= out.makespan);
+    }
+
+    #[test]
+    fn degraded_with_default_faults_is_identical() {
+        let model = CostModel::paper();
+        let specs = vec![spec(); 3];
+        let plain = run_multiuser_mixed(&model, &specs, Mode::Hix);
+        let faults = vec![SessionFaults::default(); 3];
+        let degraded = run_multiuser_degraded(&model, &specs, Mode::Hix, &faults);
+        assert_eq!(plain, degraded, "no faults must mean no change at all");
+    }
+
+    #[test]
+    fn poisoned_session_never_stalls_peers() {
+        let model = CostModel::paper();
+        let specs = vec![spec(); 3];
+        // User 0 spends 10 s in channel recovery before submitting any
+        // GPU work — by then the healthy users are long gone, so their
+        // completions must match a run where user 0 doesn't exist.
+        let mut faults = vec![SessionFaults::default(); 3];
+        faults[0].recovery = Nanos::from_millis(10_000);
+        let degraded = run_multiuser_degraded(&model, &specs, Mode::Hix, &faults);
+        let healthy_only = run_multiuser_mixed(&model, &specs[..2], Mode::Hix);
+        assert_eq!(
+            &degraded.completions[1..],
+            &healthy_only.completions[..],
+            "a recovering session must not inflate healthy sessions"
+        );
+        assert!(degraded.completions[0] > healthy_only.makespan);
+    }
+
+    #[test]
+    fn aborted_session_drops_its_remaining_gpu_work() {
+        let model = CostModel::paper();
+        let specs = vec![spec(); 2];
+        let mut faults = vec![SessionFaults::default(); 2];
+        faults[1].abort_after = Some(Nanos::from_millis(1));
+        let degraded = run_multiuser_degraded(&model, &specs, Mode::Hix, &faults);
+        let plain = run_multiuser_mixed(&model, &specs, Mode::Hix);
+        assert!(
+            degraded.completions[1] < plain.completions[1],
+            "an aborted session finishes (dies) earlier than a healthy one"
+        );
+        assert!(
+            degraded.completions[0] <= plain.completions[0],
+            "the survivor can only benefit from the freed GPU"
+        );
     }
 
     #[test]

@@ -23,9 +23,10 @@ use hix_gpu::crypto_kernels::DATA_AAD;
 use hix_gpu::vram::DevAddr;
 use hix_platform::mem::PAGE_SIZE;
 use hix_platform::{Machine, ProcessId, VirtAddr};
-use hix_sim::{CostModel, EventKind, Payload};
+use hix_sim::fault::Backoff;
+use hix_sim::{CostModel, EventKind, Nanos, Payload, COUNT_BOUNDS, LATENCY_BOUNDS_NS};
 
-use crate::channel::{sealed_stream_len, Endpoint, BULK_OFFSET};
+use crate::channel::{sealed_stream_len, ChannelError, Endpoint, BULK_OFFSET};
 use crate::gpu_enclave::{GpuEnclave, HixCoreError, SessionId};
 use crate::protocol::{Request, Response};
 
@@ -188,16 +189,156 @@ impl HixSession {
         Ok(self.endpoint.send_request(machine, body)?)
     }
 
+    /// One request/response exchange with ARQ recovery: on a lossy or
+    /// tampered wire the runtime retransmits under capped exponential
+    /// backoff, and escalates to a session re-key (with re-attestation)
+    /// when the wire state desynchronizes or retransmission stops
+    /// helping. On a clean wire this is a single send/poll/recv with no
+    /// extra time charged and no recovery metrics touched.
     fn roundtrip(
         &mut self,
         machine: &mut Machine,
         enclave: &mut GpuEnclave,
         request: &Request,
     ) -> Result<Response, HixCoreError> {
+        const MAX_ATTEMPTS: u32 = 24;
+        const REKEY_AFTER: u32 = 12;
+        const MAX_REKEYS: u32 = 2;
         self.endpoint.send_request(machine, &request.encode())?;
-        enclave.poll(machine, self.id)?;
-        let body = self.endpoint.recv_response(machine)?;
-        Response::decode(&body).ok_or_else(|| HixCoreError::Protocol("undecodable response".into()))
+        let mut attempts: u32 = 0;
+        let mut backoff: Option<Backoff> = None;
+        let mut rekeys: u32 = 0;
+        loop {
+            self.maybe_cfg_storm(machine, enclave);
+            let mut desync = false;
+            match enclave.poll(machine, self.id) {
+                Ok(_) => {}
+                Err(HixCoreError::Channel(ChannelError::Desync)) => desync = true,
+                Err(e) => return Err(e),
+            }
+            if !desync {
+                match self.endpoint.recv_response(machine) {
+                    Ok(body) => {
+                        if attempts > 0 {
+                            machine.trace().metrics().observe_with(
+                                "recovery.retries_per_op",
+                                &COUNT_BOUNDS,
+                                attempts as u64,
+                            );
+                        }
+                        return Response::decode(&body).ok_or_else(|| {
+                            HixCoreError::Protocol("undecodable response".into())
+                        });
+                    }
+                    Err(
+                        ChannelError::Empty
+                        | ChannelError::Duplicate
+                        | ChannelError::Tampered
+                        | ChannelError::Malformed,
+                    ) => {}
+                    Err(ChannelError::Desync) => desync = true,
+                    Err(e @ ChannelError::Access(_)) => return Err(e.into()),
+                }
+            }
+            attempts += 1;
+            if attempts >= MAX_ATTEMPTS {
+                return Err(HixCoreError::Protocol(format!(
+                    "channel unrecoverable after {MAX_ATTEMPTS} attempts"
+                )));
+            }
+            if desync || attempts % REKEY_AFTER == 0 {
+                rekeys += 1;
+                if rekeys > MAX_REKEYS {
+                    return Err(HixCoreError::Protocol(
+                        "channel unrecoverable: re-key budget exhausted".into(),
+                    ));
+                }
+                let obs = machine.trace().obs().clone();
+                let span = obs.enter(
+                    machine.clock().now().as_nanos(),
+                    "recovery",
+                    "rekey",
+                    &[("attempt", attempts as u64)],
+                );
+                let rekeyed = self.rekey(machine, enclave);
+                obs.exit(span, machine.clock().now().as_nanos());
+                rekeyed?;
+                // A fresh epoch: the request goes out under a new id.
+                self.endpoint.send_request(machine, &request.encode())?;
+                backoff = None;
+            } else {
+                let base = machine.model().ipc_roundtrip;
+                let b = backoff.get_or_insert_with(|| Backoff::new(base, base * 64));
+                let delay = b.next_delay();
+                let obs = machine.trace().obs().clone();
+                let span = obs.enter(
+                    machine.clock().now().as_nanos(),
+                    "recovery",
+                    "retransmit",
+                    &[("attempt", attempts as u64)],
+                );
+                machine.clock().advance(delay);
+                machine.trace().metrics().inc("recovery.retries");
+                machine.trace().metrics().observe_with(
+                    "recovery.backoff_ns",
+                    &LATENCY_BOUNDS_NS,
+                    delay.as_nanos(),
+                );
+                self.endpoint.resend_request(machine)?;
+                obs.exit(span, machine.clock().now().as_nanos());
+            }
+        }
+    }
+
+    /// Re-attests the GPU enclave and re-keys the control channel: the
+    /// unrecoverable-wire escalation. The bulk data key and nonce
+    /// counters are untouched.
+    fn rekey(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+    ) -> Result<(), HixCoreError> {
+        // Never trust a fresh key from an enclave we haven't just
+        // re-verified (§5.5) — the desync may be the OS swapping GPUs.
+        let quote = enclave.quote(machine)?;
+        if !quote.verify(
+            &machine.provisioning_key(),
+            &crate::gpu_enclave::expected_measurement(),
+        ) {
+            return Err(HixCoreError::Attest(crate::attest::AttestError::BadReport));
+        }
+        let key = enclave.rekey_session(machine, self.id, &mut self.rng)?;
+        self.endpoint.rekey(key);
+        self.endpoint.reset_wire(machine)?;
+        Ok(())
+    }
+
+    /// Rolls the fault plan's config-storm dice: a burst of hostile OS
+    /// writes to the GPU's config space mid-operation. The PCIe lockdown
+    /// must reject every one of them.
+    fn maybe_cfg_storm(&self, machine: &mut Machine, enclave: &GpuEnclave) {
+        let Some(plan) = machine.fault_plan() else { return };
+        let Some(writes) = plan.sample_cfg_storm() else { return };
+        machine.trace().metrics().inc("fault.injected");
+        machine.trace().metrics().inc("fault.injected.cfg_storm");
+        machine.trace().emit_with(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Fault,
+            "inject cfg_storm",
+            &[("writes", writes as u64)],
+        );
+        for i in 0..writes {
+            let r = machine.config_write(
+                enclave.bdf(),
+                hix_pcie::config::offsets::BAR0,
+                0xdead_0000 + i,
+            );
+            debug_assert!(
+                r.is_err(),
+                "PCIe lockdown must reject OS config writes while the enclave owns the GPU"
+            );
+        }
     }
 
     fn expect_ok(&mut self, response: Response) -> Result<(), HixCoreError> {
@@ -499,7 +640,13 @@ impl HixSession {
         machine: &mut Machine,
         enclave: &mut GpuEnclave,
     ) -> Result<(), HixCoreError> {
-        let resp = self.roundtrip(machine, enclave, &Request::Close)?;
+        let resp = match self.roundtrip(machine, enclave, &Request::Close) {
+            Ok(resp) => resp,
+            // The Close was served but its ack lost: the retransmitted
+            // Close finds the session already gone. That is a close.
+            Err(HixCoreError::Protocol(msg)) if msg.starts_with("unknown session") => Response::Ok,
+            Err(e) => return Err(e),
+        };
         self.expect_ok(resp)?;
         // Release the shared window's frames.
         let buffer = self.endpoint.buffer().clone();
@@ -525,6 +672,45 @@ mod tests {
         let mut m = standard_rig(RigOptions::default());
         let enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
         (m, enclave)
+    }
+
+    #[test]
+    fn session_survives_a_hostile_wire() {
+        use hix_sim::fault::{FaultConfig, FaultPlan};
+        let (mut m, mut enclave) = setup();
+        m.set_fault_plan(FaultPlan::new(
+            7,
+            FaultConfig {
+                drop_pm: 60,
+                dup_pm: 40,
+                reorder_pm: 40,
+                delay_pm: 40,
+                corrupt_pm: 60,
+                dma_flip_pm: 40,
+                cfg_storm_pm: 30,
+                ..FaultConfig::none()
+            },
+        ));
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let dev = s.malloc(&mut m, &mut enclave, 100_000).unwrap();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31) as u8).collect();
+        s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(data.clone()))
+            .unwrap();
+        let back = s.memcpy_dtoh(&mut m, &mut enclave, dev, 100_000).unwrap();
+        assert_eq!(back.bytes(), &data[..], "faults must never corrupt results");
+        s.close(&mut m, &mut enclave).unwrap();
+        let injected = m.trace().metrics().counter("fault.injected");
+        assert!(injected > 0, "the plan must actually fire at these rates");
+        assert_eq!(
+            m.trace().count(EventKind::Fault),
+            injected,
+            "every injection emits exactly one Fault event"
+        );
+        let recovered = m.trace().metrics().counter("recovery.retries")
+            + m.trace().metrics().counter("recovery.redma")
+            + m.trace().metrics().counter("recovery.dup_served")
+            + m.trace().metrics().counter("recovery.rekeys");
+        assert!(recovered > 0, "recovery machinery must have engaged");
     }
 
     #[test]

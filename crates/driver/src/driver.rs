@@ -188,6 +188,7 @@ impl GpuDriver {
         let error = self.reg_read(machine, bar0::ERROR)? as u32;
         if error != errcode::NONE {
             self.reg_write(machine, bar0::ERROR, 0)?;
+            machine.trace().metrics().inc("driver.gpu_errors");
             return Err(DriverError::Gpu(error));
         }
         Ok(())

@@ -40,7 +40,7 @@ pub mod metrics;
 mod span;
 
 pub use export::{chrome_trace_json, phase_table};
-pub use metrics::{Hist, Metrics, LATENCY_BOUNDS_NS};
+pub use metrics::{Hist, Metrics, COUNT_BOUNDS, LATENCY_BOUNDS_NS};
 pub use span::{Obs, Span, SpanId};
 
 /// The percentile convention shared by `hix_sim::stats` and

@@ -19,6 +19,11 @@ pub const LATENCY_BOUNDS_NS: [u64; 8] = [
     1_000_000_000,
 ];
 
+/// Default histogram bucket upper bounds for small event counts
+/// (retries per operation, queue depths — powers of two up to the
+/// replay-window width; an implicit overflow bucket catches the rest).
+pub const COUNT_BOUNDS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
 /// A fixed-bucket histogram: cumulative-style buckets defined by static
 /// upper bounds plus an implicit overflow bucket, with total count and
 /// sum. All integer state — snapshots are bit-stable.

@@ -15,6 +15,7 @@ use hix_pcie::addr::{Bdf, PhysAddr, PhysRange};
 use hix_pcie::config::BarIndex;
 use hix_pcie::device::PcieDevice;
 use hix_pcie::fabric::{PcieError, PcieFabric, Provenance};
+use hix_sim::fault::FaultPlan;
 use hix_sim::{Clock, CostModel, EventKind, Nanos, Trace};
 
 use crate::hix::{HixError, HixState};
@@ -67,6 +68,7 @@ pub struct Machine {
     procs: BTreeMap<ProcessId, Process>,
     next_proc: u32,
     boot_epoch: u64,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -103,6 +105,7 @@ impl Machine {
             procs: BTreeMap::new(),
             next_proc: 1,
             boot_epoch: 0,
+            fault_plan: None,
         }
     }
 
@@ -139,6 +142,25 @@ impl Machine {
     /// Number of cold boots performed (epoch counter).
     pub fn boot_epoch(&self) -> u64 {
         self.boot_epoch
+    }
+
+    /// Installs a deterministic fault-injection plan: the channel, DMA,
+    /// and PCIe layers consult it on every operation. Part of the
+    /// adversary surface — the OS owns the transport and may perturb it
+    /// at will; only integrity/confidentiality are hardware-enforced.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes the active fault plan (the transport behaves ideally
+    /// again).
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// The active fault plan, if any (cheap handle clone).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan.clone()
     }
 
     // ---------------------------------------------------------- processes

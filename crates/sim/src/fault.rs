@@ -1,0 +1,620 @@
+//! Deterministic fault injection for the untrusted channel.
+//!
+//! HIX's threat model (§3) makes everything between the enclaves — the
+//! message queue, the shared memory, the DMA path, the PCIe config
+//! plane — adversarial. The paper guarantees integrity and
+//! confidentiality; *availability* is the runtime's job. This module
+//! supplies the adversary: a seeded [`FaultPlan`] that, driven purely by
+//! `hix_testkit::Rng` and the virtual clock, decides per transmission
+//! whether to drop, duplicate, reorder, delay, or corrupt it, and per
+//! transfer whether to flip a bit on the DMA wire, storm the config
+//! plane, or restart the GPU enclave mid-session.
+//!
+//! The plan is *pay-for-what-you-use*: when no plan is installed (or all
+//! rates are zero) no RNG draws happen and no state is kept, so
+//! fault-free runs are bit-identical to builds that never heard of this
+//! module.
+//!
+//! The recovery-side primitives live here too so the property suites can
+//! exercise them in isolation: [`ReplayWindow`] (anti-replay with
+//! forward tolerance for retransmission gaps), [`Backoff`] (capped
+//! exponential timeout schedule), and [`Resequencer`] (sorted release
+//! of out-of-order arrivals with a monotonic floor).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use hix_testkit::Rng;
+
+use crate::time::Nanos;
+
+/// Which way a channel message travels. The plan keeps independent
+/// wire state per (channel, direction) so a held request doorbell never
+/// collides with response traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dir {
+    /// User enclave → GPU enclave.
+    Request,
+    /// GPU enclave → user enclave.
+    Response,
+}
+
+impl Dir {
+    /// Label used in trace events and metrics names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dir::Request => "request",
+            Dir::Response => "response",
+        }
+    }
+}
+
+/// Per-message fault rates in permille (‰) plus the knobs for the
+/// non-message fault classes. Message rates are exclusive — one draw in
+/// `0..1000` per transmission picks at most one of them — so their sum
+/// must stay ≤ 1000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Drop the doorbell: the message is staged but never announced.
+    pub drop_pm: u32,
+    /// Deliver the message twice (the queue wakes the receiver again).
+    pub dup_pm: u32,
+    /// The previous transmission overtakes this one in the single-slot
+    /// medium (old frame re-announced, new frame lost).
+    pub reorder_pm: u32,
+    /// Hold the doorbell for a sampled virtual-time delay.
+    pub delay_pm: u32,
+    /// Flip a byte of the sealed frame (or, 1 in 16, of the doorbell
+    /// header itself — a nonce/sequence tamper).
+    pub corrupt_pm: u32,
+    /// Per-HtoD-transfer chance of a transient bit-flip on the DMA wire.
+    pub dma_flip_pm: u32,
+    /// Per-poll-attempt chance of a PCIe config-write storm against the
+    /// locked-down device.
+    pub cfg_storm_pm: u32,
+    /// Per-round chance (sampled by the harness) of a mid-session GPU
+    /// enclave restart.
+    pub restart_pm: u32,
+    /// Upper bound for sampled doorbell delays.
+    pub max_delay: Nanos,
+}
+
+impl FaultConfig {
+    /// All rates zero — installing this plan is a no-op (and draws
+    /// nothing from the RNG).
+    pub fn none() -> Self {
+        FaultConfig {
+            drop_pm: 0,
+            dup_pm: 0,
+            reorder_pm: 0,
+            delay_pm: 0,
+            corrupt_pm: 0,
+            dma_flip_pm: 0,
+            cfg_storm_pm: 0,
+            restart_pm: 0,
+            max_delay: Nanos::from_micros(200),
+        }
+    }
+
+    /// ~1% of each message-fault class — the acceptance-criteria floor
+    /// (drops+corruption+reorder at ≥1% each).
+    pub fn light() -> Self {
+        FaultConfig {
+            drop_pm: 10,
+            dup_pm: 10,
+            reorder_pm: 10,
+            delay_pm: 10,
+            corrupt_pm: 10,
+            dma_flip_pm: 10,
+            cfg_storm_pm: 10,
+            restart_pm: 0,
+            max_delay: Nanos::from_micros(200),
+        }
+    }
+
+    /// 5% message faults plus DMA flips, config storms, and restarts.
+    pub fn heavy() -> Self {
+        FaultConfig {
+            drop_pm: 50,
+            dup_pm: 30,
+            reorder_pm: 40,
+            delay_pm: 30,
+            corrupt_pm: 50,
+            dma_flip_pm: 40,
+            cfg_storm_pm: 30,
+            restart_pm: 120,
+            max_delay: Nanos::from_micros(200),
+        }
+    }
+
+    fn msg_total(&self) -> u32 {
+        self.drop_pm + self.dup_pm + self.reorder_pm + self.delay_pm + self.corrupt_pm
+    }
+}
+
+/// The fault chosen for one message transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgFault {
+    /// Stage the frame but never ring the doorbell.
+    Drop,
+    /// Deliver the frame, then present it a second time.
+    Duplicate,
+    /// Replace the frame with the previous transmission's.
+    Reorder,
+    /// Ring the doorbell only after `0` elapses.
+    Delay(Nanos),
+    /// XOR one byte. `header` targets the doorbell sequence word
+    /// instead of the sealed frame.
+    Corrupt {
+        /// Byte offset (mod frame length / header width).
+        offset: u64,
+        /// Non-zero mask XORed into the byte.
+        xor: u8,
+        /// Tamper the announced sequence number, not the ciphertext.
+        header: bool,
+    },
+}
+
+impl MsgFault {
+    /// Metric suffix for `fault.injected.<kind>`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MsgFault::Drop => "drop",
+            MsgFault::Duplicate => "duplicate",
+            MsgFault::Reorder => "reorder",
+            MsgFault::Delay(_) => "delay",
+            MsgFault::Corrupt { .. } => "corrupt",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DirState {
+    /// Last frame put on the wire: (wire seq, sealed bytes). Reordering
+    /// re-announces this frame over the new one.
+    last: Option<(u64, Vec<u8>)>,
+    /// Doorbells held back by delay faults, released in seq order once
+    /// their due time passes.
+    held: Resequencer<Nanos>,
+    /// A duplicate delivery is pending for the receiver.
+    dup_armed: bool,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    rng: Rng,
+    config: FaultConfig,
+    dirs: BTreeMap<(u64, Dir), DirState>,
+}
+
+/// A seeded fault plan. Cheap-to-clone handle (`Rc<RefCell<_>>`, like
+/// `Clock`/`Trace`): the machine, both channel endpoints, and the GPU
+/// enclave all sample the *same* deterministic stream, so a given
+/// (seed, config, workload) triple always injects the identical fault
+/// tape — the soak suite's trace-identity check rests on this.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Rc<RefCell<PlanInner>>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed and a rate configuration.
+    ///
+    /// # Panics
+    ///
+    /// If the exclusive message-fault rates sum past 1000‰.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        assert!(
+            config.msg_total() <= 1000,
+            "message fault rates exceed 1000 permille"
+        );
+        FaultPlan {
+            inner: Rc::new(RefCell::new(PlanInner {
+                rng: Rng::new(seed),
+                config,
+                dirs: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// The plan's rate configuration.
+    pub fn config(&self) -> FaultConfig {
+        self.inner.borrow().config
+    }
+
+    /// Samples the fault (if any) for one message transmission. Draws
+    /// nothing when every message rate is zero.
+    pub fn sample_message(&self) -> Option<MsgFault> {
+        let mut inner = self.inner.borrow_mut();
+        let cfg = inner.config;
+        let total = cfg.msg_total();
+        if total == 0 {
+            return None;
+        }
+        let r = inner.rng.gen_range(0..1000) as u32;
+        let mut edge = cfg.drop_pm;
+        if r < edge {
+            return Some(MsgFault::Drop);
+        }
+        edge += cfg.dup_pm;
+        if r < edge {
+            return Some(MsgFault::Duplicate);
+        }
+        edge += cfg.reorder_pm;
+        if r < edge {
+            return Some(MsgFault::Reorder);
+        }
+        edge += cfg.delay_pm;
+        if r < edge {
+            let span = cfg.max_delay.as_nanos().max(2);
+            let by = inner.rng.gen_range(1..span);
+            return Some(MsgFault::Delay(Nanos::from_nanos(by)));
+        }
+        edge += cfg.corrupt_pm;
+        if r < edge {
+            let offset = inner.rng.u64();
+            let xor = (inner.rng.gen_range(0..255) + 1) as u8;
+            let header = inner.rng.gen_range(0..16) == 0;
+            return Some(MsgFault::Corrupt { offset, xor, header });
+        }
+        None
+    }
+
+    /// Records a frame that hit the wire (fresh or retransmitted) so a
+    /// later reorder fault can re-announce it.
+    pub fn remember(&self, chan: u64, dir: Dir, seq: u64, sealed: &[u8]) {
+        let mut inner = self.inner.borrow_mut();
+        let st = inner.dirs.entry((chan, dir)).or_default();
+        st.last = Some((seq, sealed.to_vec()));
+    }
+
+    /// The previous transmission on this wire, for a reorder fault.
+    pub fn previous(&self, chan: u64, dir: Dir) -> Option<(u64, Vec<u8>)> {
+        let inner = self.inner.borrow();
+        inner.dirs.get(&(chan, dir)).and_then(|st| st.last.clone())
+    }
+
+    /// Parks a delayed doorbell until `due`.
+    pub fn hold_doorbell(&self, chan: u64, dir: Dir, seq: u64, due: Nanos) {
+        let mut inner = self.inner.borrow_mut();
+        let st = inner.dirs.entry((chan, dir)).or_default();
+        st.held.push(seq, due);
+    }
+
+    /// Releases the lowest held doorbell whose due time has passed.
+    pub fn release_doorbell(&self, chan: u64, dir: Dir, now: Nanos) -> Option<u64> {
+        let mut inner = self.inner.borrow_mut();
+        let st = inner.dirs.get_mut(&(chan, dir))?;
+        match st.held.peek() {
+            Some((_, due)) if *due <= now => st.held.pop().map(|(seq, _)| seq),
+            _ => None,
+        }
+    }
+
+    /// Arms a duplicate delivery: the receiver's next idle poll sees the
+    /// already-consumed message again.
+    pub fn arm_duplicate(&self, chan: u64, dir: Dir) {
+        let mut inner = self.inner.borrow_mut();
+        inner.dirs.entry((chan, dir)).or_default().dup_armed = true;
+    }
+
+    /// Consumes a pending duplicate delivery, if armed.
+    pub fn take_duplicate(&self, chan: u64, dir: Dir) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        match inner.dirs.get_mut(&(chan, dir)) {
+            Some(st) if st.dup_armed => {
+                st.dup_armed = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Samples a transient DMA bit-flip for a sealed stream of
+    /// `sealed_len` bytes: `(offset, xor mask)`.
+    pub fn sample_dma_flip(&self, sealed_len: u64) -> Option<(u64, u8)> {
+        let mut inner = self.inner.borrow_mut();
+        let pm = inner.config.dma_flip_pm;
+        if pm == 0 || sealed_len == 0 {
+            return None;
+        }
+        if inner.rng.gen_range(0..1000) >= pm as u64 {
+            return None;
+        }
+        let off = inner.rng.gen_range(0..sealed_len);
+        let xor = (inner.rng.gen_range(0..255) + 1) as u8;
+        Some((off, xor))
+    }
+
+    /// Samples a PCIe config-write storm: number of writes to fire.
+    pub fn sample_cfg_storm(&self) -> Option<u32> {
+        let mut inner = self.inner.borrow_mut();
+        let pm = inner.config.cfg_storm_pm;
+        if pm == 0 {
+            return None;
+        }
+        if inner.rng.gen_range(0..1000) >= pm as u64 {
+            return None;
+        }
+        Some(inner.rng.gen_range(1..5) as u32)
+    }
+
+    /// Samples a mid-session GPU-enclave restart (harness-driven, once
+    /// per workload round).
+    pub fn sample_restart(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let pm = inner.config.restart_pm;
+        pm != 0 && inner.rng.gen_range(0..1000) < pm as u64
+    }
+}
+
+/// Verdict of a [`ReplayWindow`] check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqCheck {
+    /// New, within the forward window — safe to authenticate.
+    Fresh,
+    /// At or behind the last accepted sequence — a replay or idle slot.
+    Stale,
+    /// Beyond the forward window — the wire state is unrecoverable
+    /// without a re-key.
+    TooFar,
+}
+
+/// Anti-replay window over wire sequence numbers. Every transmission
+/// (including retransmissions) burns a fresh sequence, so the receiver
+/// must tolerate forward *gaps* (dropped transmissions) up to `window`,
+/// while anything at or behind the high-water mark is a replay.
+#[derive(Debug, Clone)]
+pub struct ReplayWindow {
+    last: u64,
+    window: u64,
+}
+
+/// Default forward tolerance: comfortably above the retry cap so a
+/// burst of dropped retransmissions never strands the channel.
+pub const REPLAY_WINDOW: u64 = 64;
+
+impl Default for ReplayWindow {
+    fn default() -> Self {
+        ReplayWindow::new(REPLAY_WINDOW)
+    }
+}
+
+impl ReplayWindow {
+    /// A window accepting `last+1 ..= last+window`.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        ReplayWindow { last: 0, window }
+    }
+
+    /// Classifies `seq` without advancing.
+    pub fn check(&self, seq: u64) -> SeqCheck {
+        if seq <= self.last {
+            SeqCheck::Stale
+        } else if seq > self.last.saturating_add(self.window) {
+            SeqCheck::TooFar
+        } else {
+            SeqCheck::Fresh
+        }
+    }
+
+    /// Classifies `seq` and advances the high-water mark when fresh.
+    pub fn accept(&mut self, seq: u64) -> SeqCheck {
+        let verdict = self.check(seq);
+        if verdict == SeqCheck::Fresh {
+            self.last = seq;
+        }
+        verdict
+    }
+
+    /// The last accepted sequence number.
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+
+    /// Resets to the initial state (after a re-key epoch change).
+    pub fn reset(&mut self) {
+        self.last = 0;
+    }
+}
+
+/// Capped exponential backoff over virtual time: `base, 2·base, 4·base,
+/// …` saturating at `cap`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Nanos,
+    cap: Nanos,
+    next: Nanos,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and never exceeding
+    /// `max(base, cap)`.
+    pub fn new(base: Nanos, cap: Nanos) -> Self {
+        let cap = cap.max(base);
+        Backoff { base, cap, next: base }
+    }
+
+    /// The next delay; doubles the following one up to the cap.
+    pub fn next_delay(&mut self) -> Nanos {
+        let d = self.next;
+        self.next = Nanos::from_nanos(d.as_nanos().saturating_mul(2)).min(self.cap);
+        d
+    }
+
+    /// Restarts the schedule at `base` (after a successful exchange).
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+/// Sorted-release buffer for out-of-order arrivals: items are held by
+/// sequence number and popped lowest-first; once a sequence has been
+/// released, it (and everything below it) is refused forever — the
+/// monotonic floor that makes delayed-doorbell replay impossible.
+#[derive(Debug, Clone, Default)]
+pub struct Resequencer<T> {
+    held: BTreeMap<u64, T>,
+    floor: Option<u64>,
+}
+
+impl<T> Resequencer<T> {
+    /// An empty buffer with no floor.
+    pub fn new() -> Self {
+        Resequencer { held: BTreeMap::new(), floor: None }
+    }
+
+    /// Holds `item` under `seq`. Returns `false` (and drops the item)
+    /// when `seq` is at/under the floor or already held.
+    pub fn push(&mut self, seq: u64, item: T) -> bool {
+        if self.floor.is_some_and(|f| seq <= f) || self.held.contains_key(&seq) {
+            return false;
+        }
+        self.held.insert(seq, item);
+        true
+    }
+
+    /// The lowest held entry, without releasing it.
+    pub fn peek(&self) -> Option<(u64, &T)> {
+        self.held.iter().next().map(|(s, t)| (*s, t))
+    }
+
+    /// Releases the lowest held entry and raises the floor to it.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let seq = *self.held.keys().next()?;
+        let item = self.held.remove(&seq).expect("keyed");
+        self.floor = Some(seq);
+        Some((seq, item))
+    }
+
+    /// Number of held entries.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Whether nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_tape() {
+        let tape = |seed| {
+            let plan = FaultPlan::new(seed, FaultConfig::heavy());
+            (0..64).map(|_| plan.sample_message()).collect::<Vec<_>>()
+        };
+        assert_eq!(tape(7), tape(7));
+        assert_ne!(tape(7), tape(8), "seed must matter");
+    }
+
+    #[test]
+    fn zero_config_draws_nothing() {
+        let plan = FaultPlan::new(1, FaultConfig::none());
+        for _ in 0..32 {
+            assert_eq!(plan.sample_message(), None);
+            assert_eq!(plan.sample_dma_flip(4096), None);
+            assert_eq!(plan.sample_cfg_storm(), None);
+            assert!(!plan.sample_restart());
+        }
+        // The RNG was never touched: a fresh same-seed plan with real
+        // rates produces its stream from the very first draw.
+        let a = FaultPlan::new(1, FaultConfig::heavy());
+        let b = FaultPlan::new(1, FaultConfig::heavy());
+        assert_eq!(a.sample_message(), b.sample_message());
+    }
+
+    #[test]
+    fn heavy_plan_injects_every_class() {
+        let plan = FaultPlan::new(0x5eed, FaultConfig::heavy());
+        let mut kinds = std::collections::BTreeSet::new();
+        for _ in 0..4000 {
+            if let Some(f) = plan.sample_message() {
+                kinds.insert(f.kind());
+            }
+        }
+        for kind in ["drop", "duplicate", "reorder", "delay", "corrupt"] {
+            assert!(kinds.contains(kind), "never sampled {kind}");
+        }
+        assert!((0..400).any(|_| plan.sample_dma_flip(1 << 20).is_some()));
+        assert!((0..400).any(|_| plan.sample_cfg_storm().is_some()));
+        assert!((0..400).any(|_| plan.sample_restart()));
+    }
+
+    #[test]
+    fn doorbell_hold_and_release() {
+        let plan = FaultPlan::new(3, FaultConfig::light());
+        let t = Nanos::from_micros;
+        plan.hold_doorbell(9, Dir::Request, 5, t(10));
+        plan.hold_doorbell(9, Dir::Request, 4, t(20));
+        // Nothing due yet.
+        assert_eq!(plan.release_doorbell(9, Dir::Request, t(5)), None);
+        // Seq 4 is the lowest held; it gates seq 5 even though 5 is due
+        // earlier (sorted release).
+        assert_eq!(plan.release_doorbell(9, Dir::Request, t(15)), None);
+        assert_eq!(plan.release_doorbell(9, Dir::Request, t(20)), Some(4));
+        assert_eq!(plan.release_doorbell(9, Dir::Request, t(20)), Some(5));
+        assert_eq!(plan.release_doorbell(9, Dir::Request, t(20)), None);
+    }
+
+    #[test]
+    fn duplicate_arm_is_one_shot_per_direction() {
+        let plan = FaultPlan::new(3, FaultConfig::light());
+        plan.arm_duplicate(1, Dir::Response);
+        assert!(!plan.take_duplicate(1, Dir::Request));
+        assert!(plan.take_duplicate(1, Dir::Response));
+        assert!(!plan.take_duplicate(1, Dir::Response));
+    }
+
+    #[test]
+    fn replay_window_classification() {
+        let mut w = ReplayWindow::new(8);
+        assert_eq!(w.accept(0), SeqCheck::Stale);
+        assert_eq!(w.accept(1), SeqCheck::Fresh);
+        assert_eq!(w.accept(1), SeqCheck::Stale);
+        // Forward gap within the window (dropped transmissions).
+        assert_eq!(w.accept(5), SeqCheck::Fresh);
+        assert_eq!(w.accept(3), SeqCheck::Stale);
+        assert_eq!(w.accept(5 + 8), SeqCheck::Fresh);
+        assert_eq!(w.accept(13 + 9), SeqCheck::TooFar);
+        assert_eq!(w.last(), 13);
+        w.reset();
+        assert_eq!(w.accept(1), SeqCheck::Fresh);
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap() {
+        let us = Nanos::from_micros;
+        let mut b = Backoff::new(us(5), us(40));
+        assert_eq!(b.next_delay(), us(5));
+        assert_eq!(b.next_delay(), us(10));
+        assert_eq!(b.next_delay(), us(20));
+        assert_eq!(b.next_delay(), us(40));
+        assert_eq!(b.next_delay(), us(40), "capped");
+        b.reset();
+        assert_eq!(b.next_delay(), us(5));
+        // cap below base is clamped up to base.
+        let mut tiny = Backoff::new(us(8), us(1));
+        assert_eq!(tiny.next_delay(), us(8));
+        assert_eq!(tiny.next_delay(), us(8));
+    }
+
+    #[test]
+    fn resequencer_sorted_release_with_floor() {
+        let mut r = Resequencer::new();
+        assert!(r.push(5, "e"));
+        assert!(r.push(3, "c"));
+        assert!(!r.push(3, "dup"), "already held");
+        assert_eq!(r.pop(), Some((3, "c")));
+        assert!(!r.push(2, "b"), "under the floor");
+        assert!(!r.push(3, "c2"), "at the floor");
+        assert_eq!(r.pop(), Some((5, "e")));
+        assert_eq!(r.pop(), None);
+        assert!(r.is_empty());
+    }
+}

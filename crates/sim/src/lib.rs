@@ -25,12 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fault;
 pub mod payload;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use hix_obs::{COUNT_BOUNDS, LATENCY_BOUNDS_NS};
+pub use fault::{Backoff, Dir, FaultConfig, FaultPlan, MsgFault, ReplayWindow, Resequencer, SeqCheck};
 pub use payload::Payload;
 pub use time::{Clock, Nanos};
 pub use trace::{Event, EventKind, Trace};

@@ -21,6 +21,12 @@ if grep -E 'hix-obs.*generated [0-9]+ warning' "$build_log"; then
     echo "error: cargo build emitted warnings in hix-obs" >&2
     exit 1
 fi
+# And for the simulation substrate, which now carries the fault-injection
+# layer exercised by every recovery test.
+if grep -E 'hix-sim.*generated [0-9]+ warning' "$build_log"; then
+    echo "error: cargo build emitted warnings in hix-sim" >&2
+    exit 1
+fi
 
 cargo test -q --offline
 
@@ -28,6 +34,12 @@ cargo test -q --offline
 # both stacks and exits non-zero on an empty trace, accounting drift, or
 # a non-deterministic same-seed run.
 cargo run -q --release --offline -p hix-bench --bin trace_report target/trace-report
+
+# Fault-matrix smoke: 3 seeds x {none, light, heavy} fault profiles on
+# the secure matrix workload. Exits non-zero if faulted GPU results are
+# not byte-identical to the fault-free run, if a clean wire records any
+# recovery work, or if a same-seed faulted rerun is not deterministic.
+cargo run -q --release --offline -p hix-bench --bin fault_report
 
 # Table 2 re-runs the attack-scenario suite and the per-crate TCB LoC
 # accounting (non-fatal here: the test suite above already gates it).

@@ -144,6 +144,118 @@ fn ocb_open_never_panics_on_garbage() {
         });
 }
 
+/// Draws for [`replay_window_matches_model`], shared with the
+/// pinned-decode test so the corpus tape provably decodes to the
+/// documented counterexample.
+fn replay_window_case(s: &mut Source) -> (u64, Vec<u64>) {
+    let window = 1 + s.in_range(0..128);
+    let seqs = s.collect(0..64, |s| s.in_range(0..4096));
+    (window, seqs)
+}
+
+/// The anti-replay window must agree with the obvious reference model:
+/// a high-water mark `last`, where `seq <= last` is stale, `seq >
+/// last + window` is too far ahead (desync), and anything in between
+/// is fresh and advances the mark.
+#[test]
+fn replay_window_matches_model() {
+    use hix_sim::fault::{ReplayWindow, SeqCheck};
+    prop("replay_window_matches_model")
+        .corpus(SEEDS)
+        .run(|s| {
+            let (window, seqs) = replay_window_case(s);
+            let mut win = ReplayWindow::new(window);
+            let mut model_last = 0u64;
+            for seq in seqs {
+                let expect = if seq <= model_last {
+                    SeqCheck::Stale
+                } else if seq > model_last + window {
+                    SeqCheck::TooFar
+                } else {
+                    SeqCheck::Fresh
+                };
+                assert_eq!(win.check(seq), expect, "check({seq}) with last={model_last} window={window}");
+                assert_eq!(win.accept(seq), expect, "accept must classify like check");
+                if expect == SeqCheck::Fresh {
+                    model_last = seq;
+                }
+                assert_eq!(win.last(), model_last, "only fresh sequences may advance");
+            }
+            win.reset();
+            assert_eq!(win.last(), 0, "reset must reopen the epoch");
+        });
+}
+
+/// The resequencer must release held items lowest-sequence-first and
+/// refuse anything at or under the floor left by a previous release —
+/// checked against a `BTreeSet` + floor reference model. Ops < 32 push
+/// that sequence number; ops >= 32 pop.
+#[test]
+fn resequencer_matches_sorted_model() {
+    use hix_sim::fault::Resequencer;
+    use std::collections::BTreeSet;
+    prop("resequencer_matches_sorted_model")
+        .corpus(SEEDS)
+        .run(|s| {
+            let ops = s.collect(0..64, |s| s.in_range(0..40));
+            let mut rs = Resequencer::new();
+            let mut held: BTreeSet<u64> = BTreeSet::new();
+            let mut floor: Option<u64> = None;
+            for op in ops {
+                if op < 32 {
+                    let seq = op;
+                    let fresh = floor.is_none_or(|f| seq > f) && !held.contains(&seq);
+                    assert_eq!(rs.push(seq, seq), fresh, "push({seq}) with floor {floor:?}");
+                    if fresh {
+                        held.insert(seq);
+                    }
+                } else {
+                    let expect = held.iter().next().copied();
+                    assert_eq!(rs.peek().map(|(q, _)| q), expect, "peek must see the minimum");
+                    assert_eq!(rs.pop().map(|(q, _)| q), expect, "pop must release the minimum");
+                    if let Some(q) = expect {
+                        held.remove(&q);
+                        floor = Some(q);
+                    }
+                }
+                assert_eq!(rs.len(), held.len());
+                assert_eq!(rs.is_empty(), held.is_empty());
+            }
+        });
+}
+
+/// The retransmit backoff must follow the closed form `min(base * 2^i,
+/// cap)` exactly: monotone non-decreasing, never under `base`, never
+/// over `cap`, and `reset()` restarts the schedule at `base`.
+#[test]
+fn backoff_schedule_is_monotone_and_capped() {
+    use hix_sim::fault::Backoff;
+    use hix_sim::Nanos;
+    prop("backoff_schedule_is_monotone_and_capped")
+        .corpus(SEEDS)
+        .run(|s| {
+            let base_ns = 1 + s.in_range(0..1_000_000);
+            let cap_ns = base_ns * (1 + s.in_range(0..256));
+            let steps = s.in_range(1..64);
+            let mut b = Backoff::new(Nanos::from_nanos(base_ns), Nanos::from_nanos(cap_ns));
+            let mut prev = 0u128;
+            for i in 0..steps {
+                let d = b.next_delay().as_nanos() as u128;
+                let expect = ((base_ns as u128) << i).min(cap_ns as u128);
+                assert_eq!(d, expect, "delay {i} with base {base_ns} cap {cap_ns}");
+                assert!(d >= prev, "schedule must be monotone");
+                assert!(d >= base_ns as u128 && d <= cap_ns as u128);
+                prev = d;
+            }
+            b.reset();
+            assert_eq!(
+                b.next_delay().as_nanos(),
+                base_ns,
+                "reset must restart the schedule at base"
+            );
+        });
+}
+
 /// The migrated corpus entry must keep decoding to the counterexample
 /// the retired proptest regression file recorded: exactly one
 /// `Doorbell` op with these 51 staged bytes. If the tape encoding ever
@@ -168,4 +280,22 @@ fn migrated_regression_seed_decodes_to_original_counterexample() {
         62, 72, 20, 4, 2, 8, 105, 83, 219, 212, 11, 77, 137, 119, 238,
     ];
     assert_eq!(staged, original);
+}
+
+/// Same drift-guard for the fault-machinery corpus: the pinned
+/// replay-window tape must decode to the documented case — a 64-deep
+/// window probed with `[64, 129, 128]` (edge-of-window fresh, one past
+/// the horizon, then the horizon itself).
+#[test]
+fn pinned_replay_window_seed_decodes_to_documented_case() {
+    let text = std::fs::read_to_string(SEEDS).expect("seeds file present");
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("replay_window_matches_model"))
+        .expect("pinned replay-window entry present");
+    let hex = line.split_whitespace().nth(1).unwrap();
+    let tape = hix_testkit::prop::decode_hex(hex).unwrap();
+    let (window, seqs) = decode_tape(&tape, replay_window_case);
+    assert_eq!(window, 64);
+    assert_eq!(seqs, [64, 129, 128]);
 }

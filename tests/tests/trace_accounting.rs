@@ -88,6 +88,76 @@ fn figure_harness_runs_emit_no_catchall_events() {
 }
 
 #[test]
+fn injected_faults_emit_fault_kind_events_and_recovery_reconciles() {
+    // Under an aggressive fault plan the accounting contract tightens:
+    // every injection is a `Fault`-kind event (the `Other` catch-all
+    // stays empty even on the unhappy path), the per-kind injection
+    // counters tile the total exactly, and the recovery span category
+    // reconciles with the recovery counters.
+    use hix_sim::fault::{FaultConfig, FaultPlan};
+    let mut m = standard_rig(RigOptions::default());
+    m.trace().set_recording(true);
+    m.set_fault_plan(FaultPlan::new(0xFA17_ACC7, FaultConfig::heavy()));
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+    let dev = s.malloc(&mut m, &mut enclave, 64 << 10).unwrap();
+    s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(vec![7; 64 << 10]))
+        .unwrap();
+    let back = s.memcpy_dtoh(&mut m, &mut enclave, dev, 64 << 10).unwrap();
+    assert_eq!(back.bytes(), &vec![7u8; 64 << 10][..], "recovery must preserve the data");
+    s.close(&mut m, &mut enclave).unwrap();
+
+    let mx = m.trace().metrics();
+    let injected = mx.counter("fault.injected");
+    assert!(injected > 0, "the heavy plan must fire on a transfer workload");
+    assert_eq!(
+        m.trace().count(EventKind::Fault),
+        injected,
+        "exactly one Fault event per injection"
+    );
+    assert_eq!(
+        m.trace().count(EventKind::Other),
+        0,
+        "fault handling must never fall back to the Other catch-all"
+    );
+    let per_kind: u64 = [
+        "drop", "duplicate", "reorder", "delay", "corrupt", "dma_flip", "cfg_storm", "restart",
+    ]
+    .iter()
+    .map(|kind| mx.counter(&format!("fault.injected.{kind}")))
+    .sum();
+    assert_eq!(per_kind, injected, "the per-kind ledger must tile the total");
+
+    // One span per retransmit attempt, one per re-key escalation.
+    let retries = mx.counter("recovery.retries");
+    let rekeys = mx.counter("recovery.rekeys");
+    assert!(retries > 0, "a heavy plan on transfers must force retransmissions");
+    let spans = m.trace().obs().spans();
+    let retransmit_spans = spans
+        .iter()
+        .filter(|s| s.category == "recovery" && s.name == "retransmit")
+        .count() as u64;
+    let rekey_spans = spans
+        .iter()
+        .filter(|s| s.category == "recovery" && s.name == "rekey")
+        .count() as u64;
+    assert_eq!(
+        retransmit_spans, retries,
+        "one recovery span per retransmit attempt"
+    );
+    assert_eq!(rekey_spans, rekeys, "one recovery span per re-key escalation");
+    let snapshot = m.trace().obs().snapshot();
+    assert!(
+        snapshot.contains("recovery.retries_per_op"),
+        "the retry histogram must appear in the snapshot:\n{snapshot}"
+    );
+    assert!(
+        snapshot.contains("recovery.backoff_ns"),
+        "the backoff histogram must appear in the snapshot:\n{snapshot}"
+    );
+}
+
+#[test]
 fn span_accounting_reconciles_with_legacy_totals() {
     // The obs span accumulator IS the accounting source of truth: for
     // every category the legacy `Trace::total`/`count` answers and the
