@@ -504,6 +504,144 @@ pub fn repeated_bulk_replay_under_faults(n: u32) -> ScenarioReport {
     }
 }
 
+/// Scans the low 64 MiB of VRAM (where the bump allocator places every
+/// buffer) for `needle` by reading BAR1 directly off the device — the
+/// bus-analyzer probe that works regardless of MMIO lockdown state.
+fn vram_probe(m: &mut Machine, needle: &[u8]) -> bool {
+    use hix_pcie::BarIndex;
+    let dev = m
+        .fabric_mut()
+        .device_mut(GPU_BDF)
+        .expect("GPU present on the rig");
+    let mut saved_aperture = [0u8; 8];
+    dev.mmio_read(BarIndex(0), bar0::APERTURE, &mut saved_aperture);
+    dev.mmio_write(BarIndex(0), bar0::APERTURE, &0u64.to_le_bytes());
+    let mut found = false;
+    let overlap = needle.len() - 1;
+    let mut tail = vec![0u8; overlap];
+    for page in 0..16384u64 {
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        dev.mmio_read(BarIndex(1), page * PAGE_SIZE, &mut buf);
+        let mut window = tail.clone();
+        window.extend_from_slice(&buf);
+        if window.windows(needle.len()).any(|w| w == needle) {
+            found = true;
+            break;
+        }
+        tail.copy_from_slice(&buf[buf.len() - overlap..]);
+    }
+    dev.mmio_write(BarIndex(0), bar0::APERTURE, &saved_aperture);
+    found
+}
+
+/// Watchdog extra: a secret planted in a victim session's VRAM must be
+/// unrecoverable after a secure TDR reset, while the Gdev baseline's
+/// TDR recovery (context teardown with unscrubbed frees) demonstrably
+/// leaks the same plant to the next allocation.
+pub fn tdr_reset_scrub() -> ScenarioReport {
+    use hix_sim::fault::{FaultConfig, FaultPlan};
+    let needle = b"TDR-RESIDUE-A5A5-SENTINEL";
+    let secret: Vec<u8> = needle.iter().copied().cycle().take(4096).collect();
+    let report = |verdict| ScenarioReport {
+        figure_point: 0,
+        name: "TDR reset scrub",
+        attack: "wedge the GPU, then scan VRAM for a victim's secret after the reset",
+        verdict,
+    };
+
+    // Gdev baseline: plant, then recover from the "hang" the Gdev way —
+    // tear down and rebuild the context. Its frees are unscrubbed, so
+    // the frame pool hands the secret to the next allocation.
+    let mut m = standard_rig(RigOptions::default());
+    let pid = m.create_process();
+    let bar0_va = os_map_bar0(&mut m, pid, GPU_BDF, 16);
+    let mut driver = GpuDriver::attach(&mut m, pid, GPU_BDF, bar0_va, None).expect("attach");
+    let ctx = driver.create_ctx(&mut m).expect("ctx");
+    let planted = driver.malloc(&mut m, ctx, 4096).expect("malloc");
+    let buf = hix_driver::DmaBuffer::alloc(&mut m, pid, 4096);
+    buf.write(&mut m, pid, 0, &Payload::from_bytes(secret.clone()))
+        .expect("host write");
+    driver
+        .dma_htod(&mut m, ctx, planted, &buf, 0, 4096)
+        .expect("dma in");
+    driver.sync(&mut m).expect("sync");
+    driver.free(&mut m, ctx, planted, false).expect("gdev free");
+    driver.destroy_ctx(&mut m, ctx).expect("teardown");
+    let ctx2 = driver.create_ctx(&mut m).expect("rebuilt ctx");
+    let reused = driver.malloc(&mut m, ctx2, 4096).expect("remalloc");
+    let out = hix_driver::DmaBuffer::alloc(&mut m, pid, 4096);
+    driver
+        .dma_dtoh(&mut m, ctx2, reused, &out, 0, 4096)
+        .expect("dma out");
+    driver.sync(&mut m).expect("sync");
+    let residue = out.read(&mut m, pid, 0, 4096).expect("read");
+    let baseline_leaks = residue
+        .windows(needle.len())
+        .any(|w| w == needle.as_slice());
+
+    // Secure stack: victim session A plants the secret, offender B
+    // wedges the device until the watchdog's secure resets (and, at the
+    // cap, B's eviction) have scrubbed all of VRAM. A stays idle across
+    // the incident, so nothing legitimately re-uploads its data.
+    let (mut m, mut enclave) = rig_with_enclave();
+    let mut victim = HixSession::connect(&mut m, &mut enclave).expect("victim session");
+    let dev = victim.malloc(&mut m, &mut enclave, 4096).expect("malloc");
+    victim
+        .memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(secret.clone()))
+        .expect("plant");
+    if !vram_probe(&mut m, needle) {
+        return report(Verdict::Breached {
+            detail: "probe failed to see the plant before the reset".into(),
+        });
+    }
+    let mut offender = HixSession::connect(&mut m, &mut enclave).expect("offender session");
+    let src = offender.malloc(&mut m, &mut enclave, 4096).expect("malloc");
+    let dst = offender.malloc(&mut m, &mut enclave, 4096).expect("malloc");
+    m.set_fault_plan(FaultPlan::new(
+        0x7D12,
+        FaultConfig {
+            gpu_hang_pm: 1000,
+            gpu_wedge_pm: 1000,
+            ..FaultConfig::none()
+        },
+    ));
+    let outcome = offender.memcpy_dtod(&mut m, &mut enclave, src, dst, 4096);
+    m.clear_fault_plan();
+    if !matches!(outcome, Err(HixCoreError::Evicted)) {
+        return report(Verdict::Breached {
+            detail: format!("offender not evicted, got {outcome:?}"),
+        });
+    }
+    if m.trace().metrics().counter("watchdog.resets") == 0 {
+        return report(Verdict::Breached {
+            detail: "no secure reset happened".into(),
+        });
+    }
+    if vram_probe(&mut m, needle) {
+        return report(Verdict::Breached {
+            detail: "victim secret survived the secure TDR reset".into(),
+        });
+    }
+    // The victim's next use transparently rebuilds and replays — the
+    // secret returns only inside the re-established session.
+    let back = victim
+        .memcpy_dtoh(&mut m, &mut enclave, dev, 4096)
+        .expect("victim recovers");
+    if back.bytes() != secret.as_slice() {
+        return report(Verdict::Breached {
+            detail: "victim data lost across the reset".into(),
+        });
+    }
+    if !baseline_leaks {
+        return report(Verdict::Breached {
+            detail: "Gdev baseline failed to demonstrate the leak (probe broken?)".into(),
+        });
+    }
+    report(Verdict::Blocked {
+        mechanism: "secure reset scrubs VRAM before re-use (Gdev TDR demonstrably leaks the plant)",
+    })
+}
+
 /// Reliability extra: kill-and-reclaim repeated `n` times across cold
 /// boots — the GECS lockdown must re-arm identically every cycle, with
 /// no state bleeding from the previous owner's death.
@@ -561,6 +699,7 @@ pub fn run_all() -> Vec<ScenarioReport> {
         emulated_gpu_attack(),
         residual_memory_leak(),
         bulk_replay_attack(),
+        tdr_reset_scrub(),
     ]
 }
 
@@ -627,6 +766,12 @@ mod tests {
     #[test]
     fn repeated_replay_rounds_all_detected_and_reaped() {
         let r = repeated_bulk_replay_under_faults(3);
+        assert!(r.verdict.held(), "{:?}", r.verdict);
+    }
+
+    #[test]
+    fn tdr_reset_scrub_differential() {
+        let r = tdr_reset_scrub();
         assert!(r.verdict.held(), "{:?}", r.verdict);
     }
 

@@ -1,14 +1,14 @@
 //! The GPU enclave: the relocated driver and the service loop (§4.2).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hix_crypto::drbg::HmacDrbg;
 use hix_crypto::sha256;
 use hix_driver::driver::{DriverError, GpuDriver};
 use hix_driver::DmaBuffer;
-use hix_gpu::crypto_kernels::{DECRYPT_STREAM_KERNEL, ENCRYPT_KERNEL};
+use hix_gpu::crypto_kernels::{DECRYPT_KERNEL, DECRYPT_STREAM_KERNEL, ENCRYPT_KERNEL};
 use hix_gpu::ctx::CtxId;
-use hix_gpu::regs::errcode;
+use hix_gpu::regs::{bar0, errcode};
 use hix_gpu::vram::DevAddr;
 use hix_pcie::addr::Bdf;
 use hix_platform::hix::HixError;
@@ -17,6 +17,7 @@ use hix_platform::mmu::AccessFault;
 use hix_platform::sgx::SgxError;
 use hix_platform::{Machine, ProcessId, VirtAddr};
 use hix_sim::cost::ExecMode;
+use hix_sim::fault::{EscalationLadder, WatchdogAction};
 use hix_sim::{EventKind, Nanos};
 
 use crate::attest::{self, AttestError};
@@ -57,6 +58,10 @@ pub enum HixCoreError {
     Access(AccessFault),
     /// The GPU service returned an application-level error.
     Remote(String),
+    /// The user was permanently evicted by the repeat-offender policy:
+    /// its sessions caused [`GpuEnclaveOptions::evict_after`] secure
+    /// device resets and it may no longer hold GPU sessions.
+    Evicted,
 }
 
 impl std::fmt::Display for HixCoreError {
@@ -72,6 +77,9 @@ impl std::fmt::Display for HixCoreError {
             HixCoreError::IntegrityFailure => f.write_str("in-GPU integrity check failed; session aborted"),
             HixCoreError::Access(e) => write!(f, "access fault: {e}"),
             HixCoreError::Remote(msg) => write!(f, "GPU service error: {msg}"),
+            HixCoreError::Evicted => {
+                f.write_str("user evicted: repeated TDR offenses exhausted the reset budget")
+            }
         }
     }
 }
@@ -128,6 +136,11 @@ pub struct GpuEnclaveOptions {
     pub sealed_trust: Option<Vec<u8>>,
     /// DRBG seed for the enclave's ephemeral secrets.
     pub seed: Vec<u8>,
+    /// Repeat-offender budget: a user whose sessions cause this many
+    /// full secure device resets is permanently evicted (further
+    /// rebuilds and new sessions are refused with
+    /// [`HixCoreError::Evicted`]).
+    pub evict_after: u32,
 }
 
 impl Default for GpuEnclaveOptions {
@@ -137,6 +150,7 @@ impl Default for GpuEnclaveOptions {
             expected_bios: None,
             sealed_trust: None,
             seed: b"hix-gpu-enclave".to_vec(),
+            evict_after: 3,
         }
     }
 }
@@ -149,6 +163,24 @@ struct Session {
     staging_len: u64,
     user_pid: ProcessId,
     aborted: bool,
+    /// The session's GPU context was lost to a watchdog action (per-
+    /// context kill or full secure reset). Requests are answered with
+    /// [`Response::CtxReset`] until the user re-establishes via
+    /// [`GpuEnclave::rebuild_session`].
+    stale: bool,
+}
+
+/// How an engine operation (submit + watched sync) ended, before it is
+/// folded into a wire [`Response`].
+enum EngineError {
+    /// Ordinary driver/application error — surfaced as `Response::Err`.
+    Driver(DriverError),
+    /// The session's context was torn down by a TDR action; the user
+    /// must rebuild the session and replay its journal.
+    Tdr,
+    /// The secure reset's trust re-checks failed — the enclave itself
+    /// can no longer vouch for the device; propagated as a hard error.
+    Fatal(HixCoreError),
 }
 
 /// One per-session id.
@@ -164,6 +196,11 @@ pub struct GpuEnclave {
     next_session: SessionId,
     bios_digest: [u8; 32],
     path_digest: [u8; 32],
+    /// Per-user count of full secure resets their sessions caused.
+    reset_offenses: BTreeMap<ProcessId, u32>,
+    /// Users permanently evicted by the repeat-offender policy.
+    evicted: BTreeSet<ProcessId>,
+    evict_after: u32,
 }
 
 impl std::fmt::Debug for GpuEnclave {
@@ -292,11 +329,7 @@ impl GpuEnclave {
             TRUSTED_BAR0_VA,
             bar1_va,
         )?;
-        for name in [
-            hix_gpu::crypto_kernels::DECRYPT_KERNEL,
-            ENCRYPT_KERNEL,
-            DECRYPT_STREAM_KERNEL,
-        ] {
+        for name in [DECRYPT_KERNEL, ENCRYPT_KERNEL, DECRYPT_STREAM_KERNEL] {
             driver.load_module(machine, name)?;
         }
 
@@ -309,6 +342,9 @@ impl GpuEnclave {
             next_session: 1,
             bios_digest,
             path_digest,
+            reset_offenses: BTreeMap::new(),
+            evicted: BTreeSet::new(),
+            evict_after: options.evict_after.max(1),
         })
     }
 
@@ -369,6 +405,9 @@ impl GpuEnclave {
         user_rng: &mut HmacDrbg,
         shared: DmaBuffer,
     ) -> Result<(SessionId, [u8; 16], [u8; 16]), HixCoreError> {
+        if self.evicted.contains(&user_pid) {
+            return Err(HixCoreError::Evicted);
+        }
         // Aborted sessions hold a GPU context and staging VRAM until
         // someone notices; admission is the natural point to reclaim.
         self.reap_aborted(machine);
@@ -402,9 +441,75 @@ impl GpuEnclave {
                 staging_len,
                 user_pid,
                 aborted: false,
+                stale: false,
             },
         );
         Ok((id, channel_key, keys.user))
+    }
+
+    /// Re-establishes a session whose GPU context was lost to a TDR
+    /// action: fresh pairwise channel key (the endpoint re-keys onto it
+    /// — new cipher, sequences, and replay windows, never resumed
+    /// state), fresh GPU context, fresh three-party data key, fresh
+    /// staging buffer. Returns the new channel key and user data key;
+    /// the caller re-seals everything it resubmits under the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`HixCoreError::Evicted`] if the user exhausted the reset
+    /// budget; protocol errors for unknown or non-stale sessions.
+    pub fn rebuild_session(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+        user_rng: &mut HmacDrbg,
+    ) -> Result<([u8; 16], [u8; 16]), HixCoreError> {
+        let user_pid = {
+            let state = self.sessions.get(&session).ok_or_else(|| {
+                HixCoreError::Protocol(format!("unknown session {session}"))
+            })?;
+            if state.aborted {
+                return Err(HixCoreError::IntegrityFailure);
+            }
+            if !state.stale {
+                return Err(HixCoreError::Protocol(format!(
+                    "session {session} does not need rebuilding"
+                )));
+            }
+            state.user_pid
+        };
+        if self.evicted.contains(&user_pid) {
+            machine.trace().metrics().inc("watchdog.rebuilds_refused");
+            return Err(HixCoreError::Evicted);
+        }
+        let init = machine.model().task_init(ExecMode::Hix);
+        machine.clock().advance(init);
+        machine
+            .trace()
+            .emit(machine.clock().now(), init, EventKind::Init, "hix session rebuild");
+
+        let channel_key =
+            attest::pairwise_channel_key(machine, user_pid, self.pid, user_rng, &mut self.rng)?;
+        let ctx = self.driver.create_ctx(machine)?;
+        let keys = attest::three_party_data_key(machine, &self.driver, ctx, user_rng, &mut self.rng)?;
+        let chunk = machine.model().pipeline_chunk;
+        let staging_len = chunk + hix_crypto::ocb::TAG_LEN as u64;
+        let staging = self.driver.malloc(machine, ctx, staging_len)?;
+
+        let state = self.sessions.get_mut(&session).expect("checked above");
+        state.ctx = ctx;
+        state.staging = staging;
+        state.staging_len = staging_len;
+        state.stale = false;
+        state.endpoint.rekey(channel_key);
+        machine.trace().metrics().inc("watchdog.sessions_rebuilt");
+        machine.trace().emit(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Security,
+            "session re-established after TDR: fresh context, keys, and channel epoch",
+        );
+        Ok((channel_key, keys.user))
     }
 
     /// Re-runs the key agreement for an existing session and swings its
@@ -460,8 +565,12 @@ impl GpuEnclave {
             let s = self.sessions.remove(&id).expect("listed above");
             // Scrub on free: the staging buffer saw sealed chunks only,
             // but the context's other allocations may hold plaintext.
-            let _ = self.driver.free(machine, s.ctx, s.staging, true);
-            let _ = self.driver.destroy_ctx(machine, s.ctx);
+            // A stale session's context already died (and was scrubbed)
+            // with the TDR action — nothing to release device-side.
+            if !s.stale {
+                let _ = self.driver.free(machine, s.ctx, s.staging, true);
+                let _ = self.driver.destroy_ctx(machine, s.ctx);
+            }
             machine.trace().metrics().inc("enclave.sessions_reaped");
         }
     }
@@ -509,6 +618,22 @@ impl GpuEnclave {
         let request = Request::decode(&body)
             .ok_or_else(|| HixCoreError::Protocol("undecodable request".into()))?;
         let closing = matches!(request, Request::Close);
+        if self.sessions.get(&session).expect("session exists").stale {
+            // The session's context died with a TDR action: nothing is
+            // executed until the user re-establishes. Closing a stale
+            // session is trivially fine — the device side is already
+            // gone.
+            let response = if closing { Response::Ok } else { Response::CtxReset };
+            if !closing {
+                machine.trace().metrics().inc("watchdog.stale_served");
+            }
+            let state = self.sessions.get_mut(&session).expect("session exists");
+            state.endpoint.send_response(machine, &response.encode())?;
+            if closing {
+                self.sessions.remove(&session);
+            }
+            return Ok(true);
+        }
         let response = self.handle(machine, session, request)?;
         let ok = matches!(response, Response::Ok);
         let state = self.sessions.get_mut(&session).expect("session exists");
@@ -601,16 +726,19 @@ impl GpuEnclave {
                     let copy = self
                         .driver
                         .dma_htod(machine, ctx, dst, &buffer, BULK_OFFSET, sealed_len)
-                        .and_then(|()| self.driver.sync(machine))
+                        .map_err(EngineError::Driver)
+                        .and_then(|()| self.watched_sync(machine, session))
                         .and_then(|()| {
-                            self.driver.launch(
-                                machine,
-                                ctx,
-                                DECRYPT_STREAM_KERNEL,
-                                &[dst.value(), len, chunk, nonce_start],
-                            )
+                            self.driver
+                                .launch(
+                                    machine,
+                                    ctx,
+                                    DECRYPT_STREAM_KERNEL,
+                                    &[dst.value(), len, chunk, nonce_start],
+                                )
+                                .map_err(EngineError::Driver)
                         })
-                        .and_then(|()| self.driver.sync(machine));
+                        .and_then(|()| self.watched_sync(machine, session));
                     // The in-flight flip hit only this DMA pass; the
                     // staged sealed bytes themselves are intact again
                     // for the retry.
@@ -619,7 +747,9 @@ impl GpuEnclave {
                     }
                     match copy {
                         Ok(()) => break Response::Ok,
-                        Err(DriverError::Gpu(code)) if code == errcode::INTEGRITY => {
+                        Err(EngineError::Driver(DriverError::Gpu(code)))
+                            if code == errcode::INTEGRITY =>
+                        {
                             attempt += 1;
                             if attempt < MAX_DMA_ATTEMPTS {
                                 machine.trace().metrics().inc("recovery.redma");
@@ -636,7 +766,7 @@ impl GpuEnclave {
                             self.sessions.get_mut(&session).expect("session").aborted = true;
                             return Err(HixCoreError::IntegrityFailure);
                         }
-                        Err(e) => break Response::Err(e.to_string()),
+                        Err(e) => break self.engine_outcome(Err(e))?,
                     }
                 }
             }
@@ -651,7 +781,7 @@ impl GpuEnclave {
                 }
                 let mut off = 0u64;
                 let mut index = 0u64;
-                let mut failure: Option<DriverError> = None;
+                let mut failure: Option<EngineError> = None;
                 while off < len {
                     let this = chunk.min(len - off);
                     let step = self
@@ -672,7 +802,8 @@ impl GpuEnclave {
                                 this + hix_crypto::ocb::TAG_LEN as u64,
                             )
                         })
-                        .and_then(|()| self.driver.sync(machine));
+                        .map_err(EngineError::Driver)
+                        .and_then(|()| self.watched_sync(machine, session));
                     if let Err(e) = step {
                         failure = Some(e);
                         break;
@@ -682,43 +813,37 @@ impl GpuEnclave {
                 }
                 match failure {
                     None => Response::Ok,
-                    Some(e) => Response::Err(e.to_string()),
+                    Some(e) => self.engine_outcome(Err(e))?,
                 }
             }
             Request::Memset { va, len, value } => {
                 let run = self
                     .driver
                     .memset(machine, ctx, va, len, value)
-                    .and_then(|()| self.driver.sync(machine));
-                match run {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Err(e.to_string()),
-                }
+                    .map_err(EngineError::Driver)
+                    .and_then(|()| self.watched_sync(machine, session));
+                self.engine_outcome(run)?
             }
             Request::CopyDtoD { src, dst, len } => {
                 let run = self
                     .driver
                     .copy_dtod(machine, ctx, src, dst, len)
-                    .and_then(|()| self.driver.sync(machine));
-                match run {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Err(e.to_string()),
-                }
+                    .map_err(EngineError::Driver)
+                    .and_then(|()| self.watched_sync(machine, session));
+                self.engine_outcome(run)?
             }
             Request::Launch { name, args } => {
                 let run = self
                     .driver
                     .launch(machine, ctx, &name, &args)
-                    .and_then(|()| self.driver.sync(machine));
-                match run {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Err(e.to_string()),
-                }
+                    .map_err(EngineError::Driver)
+                    .and_then(|()| self.watched_sync(machine, session));
+                self.engine_outcome(run)?
             }
-            Request::Sync => match self.driver.sync(machine) {
-                Ok(()) => Response::Ok,
-                Err(e) => Response::Err(e.to_string()),
-            },
+            Request::Sync => {
+                let run = self.watched_sync(machine, session);
+                self.engine_outcome(run)?
+            }
             Request::Close => {
                 let staging = state.staging;
                 let _ = self.driver.free(machine, ctx, staging, true);
@@ -731,6 +856,222 @@ impl GpuEnclave {
             }
         };
         Ok(resp)
+    }
+
+    /// Synchronizes with the engine under the TDR watchdog (the
+    /// robustness half of the §4.4.1 service loop): a clean sync that
+    /// leaves the engine busy means no forward progress — the hang
+    /// signal in the synchronous device model, where `sync` drains every
+    /// retirable command. Escalation is staged and bounded by the
+    /// [`EscalationLadder`]: capped-backoff re-polls until the cost-
+    /// model-derived patience deadline, then a per-context kill, then a
+    /// bounded grace, then a full secure reset. Never waits more than
+    /// [`EscalationLadder::max_recovery_wait`] of virtual time.
+    fn watched_sync(&mut self, machine: &mut Machine, session: SessionId) -> Result<(), EngineError> {
+        let ctx = self.sessions.get(&session).expect("checked by poll").ctx;
+        match self.driver.sync(machine) {
+            Ok(()) => {}
+            Err(DriverError::Gpu(code)) if code == errcode::SPURIOUS => {
+                // The engine latched an error although the command
+                // completed; `sync` already cleared the latch. The work
+                // is good — fall through to the progress check.
+                machine.trace().metrics().inc("watchdog.spurious_cleared");
+            }
+            Err(DriverError::Gpu(code)) if code == errcode::ECC => {
+                // A bit flipped in a live VRAM buffer: the context's
+                // data can no longer be trusted. Kill it (which scrubs
+                // its frames) and make the user rebuild and replay —
+                // byte-identical recovery comes from the journal, never
+                // from corrupted device state.
+                machine.trace().metrics().inc("watchdog.ecc_kills");
+                machine.trace().emit(
+                    machine.clock().now(),
+                    Nanos::ZERO,
+                    EventKind::Security,
+                    "watchdog: ECC corruption in live buffer; kill context",
+                );
+                self.driver.kill_ctx(machine, ctx).map_err(EngineError::Driver)?;
+                return self.finish_kill(machine, session).and(Err(EngineError::Tdr));
+            }
+            Err(e) => return Err(EngineError::Driver(e)),
+        }
+        if !self.driver.status_busy(machine).map_err(EngineError::Driver)? {
+            return Ok(());
+        }
+
+        // Hang detected: clean sync, busy engine.
+        machine.trace().metrics().inc("watchdog.hangs_detected");
+        machine.trace().emit(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Security,
+            "watchdog: engine hang detected (no forward progress)",
+        );
+        let model = machine.model();
+        let base = model.ipc_roundtrip;
+        let mut ladder = EscalationLadder::new(
+            model.tdr_patience(),
+            base,
+            base * 64,
+            model.tdr_kill_grace(),
+            3,
+        );
+        loop {
+            match ladder.next() {
+                WatchdogAction::Wait(d) => {
+                    machine.clock().advance(d);
+                    machine.run_device(self.bdf);
+                    if !self.driver.status_busy(machine).map_err(EngineError::Driver)? {
+                        if ladder.kill_sent() {
+                            // The kill landed within the grace period.
+                            return self.finish_kill(machine, session).and(Err(EngineError::Tdr));
+                        }
+                        // The engine recovered on its own: no action
+                        // beyond the waits was taken.
+                        machine.trace().metrics().inc("watchdog.transient_recovered");
+                        return Ok(());
+                    }
+                }
+                WatchdogAction::Kill => {
+                    machine.trace().metrics().inc("watchdog.kills");
+                    machine.trace().emit(
+                        machine.clock().now(),
+                        Nanos::ZERO,
+                        EventKind::Security,
+                        format!("watchdog: kill context {}", ctx.0),
+                    );
+                    self.driver.kill_ctx(machine, ctx).map_err(EngineError::Driver)?;
+                    machine.run_device(self.bdf);
+                    if !self.driver.status_busy(machine).map_err(EngineError::Driver)? {
+                        return self.finish_kill(machine, session).and(Err(EngineError::Tdr));
+                    }
+                    // A wedged context ignored the doorbell; the grace
+                    // re-polls confirm before the reset rung.
+                }
+                WatchdogAction::Reset => {
+                    // The kill was ignored: only a full secure reset
+                    // recovers the device. This is the offense that
+                    // counts toward eviction — it costs every session.
+                    let offender = self
+                        .sessions
+                        .get(&session)
+                        .expect("checked by poll")
+                        .user_pid;
+                    self.note_offense(machine, offender);
+                    self.secure_reset(machine).map_err(EngineError::Fatal)?;
+                    return Err(EngineError::Tdr);
+                }
+            }
+        }
+    }
+
+    /// Completes a successful per-context kill: clears the `KILLED`
+    /// error latch (so the next sync starts clean) and marks the
+    /// session stale for re-establishment.
+    fn finish_kill(&mut self, machine: &mut Machine, session: SessionId) -> Result<(), EngineError> {
+        self.driver
+            .reg_write(machine, bar0::ERROR, 0)
+            .map_err(EngineError::Driver)?;
+        self.sessions
+            .get_mut(&session)
+            .expect("checked by poll")
+            .stale = true;
+        Ok(())
+    }
+
+    /// Records a full-reset offense against `user`; at
+    /// [`GpuEnclaveOptions::evict_after`] offenses the user is
+    /// permanently evicted.
+    fn note_offense(&mut self, machine: &mut Machine, user: ProcessId) {
+        let count = self.reset_offenses.entry(user).or_insert(0);
+        *count += 1;
+        machine.trace().metrics().inc("watchdog.offenses");
+        if *count >= self.evict_after && self.evicted.insert(user) {
+            machine.trace().metrics().inc("watchdog.evictions");
+            machine.trace().emit(
+                machine.clock().now(),
+                Nanos::ZERO,
+                EventKind::Security,
+                format!("watchdog: user {} evicted after {count} device resets", user.0),
+            );
+        }
+    }
+
+    /// Full secure TDR reset (the top escalation rung): function-level
+    /// reset (destroying all contexts and keys and scrubbing all VRAM),
+    /// then the complete §4.2.2 trust re-establishment — BIOS
+    /// re-measured against the pinned digest, routing path re-checked,
+    /// ownership/lockdown re-asserted — before the driver re-arms and
+    /// the crypto kernels reload. Every session's context died with the
+    /// reset, so all sessions go stale. No secret survives: keys lived
+    /// in device state the reset destroys, VRAM is scrubbed wholesale.
+    fn secure_reset(&mut self, machine: &mut Machine) -> Result<(), HixCoreError> {
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "watchdog",
+            "secure_reset",
+            &[],
+        );
+        let result = self.secure_reset_inner(machine);
+        obs.exit(span, machine.clock().now().as_nanos());
+        result
+    }
+
+    fn secure_reset_inner(&mut self, machine: &mut Machine) -> Result<(), HixCoreError> {
+        machine.trace().metrics().inc("watchdog.resets");
+        machine.fabric_mut().reset_device(self.bdf);
+        // Re-initialization is not free: charge the secure bring-up.
+        machine.clock().advance(machine.model().task_init(ExecMode::Hix));
+
+        // The device was wedged and outside our control for a while —
+        // re-establish every trust premise rather than assuming it.
+        let rom = machine
+            .fabric()
+            .read_expansion_rom(self.bdf, 0, 64 << 10)
+            .map_err(|_| HixCoreError::BiosMismatch)?;
+        if sha256::digest(&rom) != self.bios_digest {
+            return Err(HixCoreError::BiosMismatch);
+        }
+        if !self.verify_path(machine) {
+            return Err(HixCoreError::Protocol(
+                "routing path changed across TDR reset".into(),
+            ));
+        }
+        let owned = machine
+            .hix_state()
+            .gecs(self.bdf)
+            .is_some_and(|g| !g.owner_dead);
+        if !owned {
+            return Err(HixCoreError::Protocol(
+                "GPU ownership lost across TDR reset".into(),
+            ));
+        }
+
+        self.driver.reinit_after_reset(machine)?;
+        for name in [DECRYPT_KERNEL, ENCRYPT_KERNEL, DECRYPT_STREAM_KERNEL] {
+            self.driver.load_module(machine, name)?;
+        }
+        for state in self.sessions.values_mut() {
+            state.stale = true;
+        }
+        machine.trace().emit(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Security,
+            "watchdog: secure TDR reset — VRAM scrubbed, BIOS re-verified, path re-checked, lockdown held",
+        );
+        Ok(())
+    }
+
+    /// Folds an engine outcome into a wire response.
+    fn engine_outcome(&self, run: Result<(), EngineError>) -> Result<Response, HixCoreError> {
+        match run {
+            Ok(()) => Ok(Response::Ok),
+            Err(EngineError::Driver(e)) => Ok(Response::Err(e.to_string())),
+            Err(EngineError::Tdr) => Ok(Response::CtxReset),
+            Err(EngineError::Fatal(e)) => Err(e),
+        }
     }
 
     /// Graceful termination (§4.2.3): aborts all sessions, scrubs the GPU
@@ -809,6 +1150,23 @@ impl GpuEnclave {
     /// The user process bound to a session (diagnostics).
     pub fn session_user(&self, session: SessionId) -> Option<ProcessId> {
         self.sessions.get(&session).map(|s| s.user_pid)
+    }
+
+    /// Whether a session lost its context to a TDR action and awaits
+    /// re-establishment (diagnostics).
+    pub fn session_stale(&self, session: SessionId) -> Option<bool> {
+        self.sessions.get(&session).map(|s| s.stale)
+    }
+
+    /// Full secure resets attributed to `user` so far.
+    pub fn offenses(&self, user: ProcessId) -> u32 {
+        self.reset_offenses.get(&user).copied().unwrap_or(0)
+    }
+
+    /// Whether `user` was permanently evicted by the repeat-offender
+    /// policy.
+    pub fn is_evicted(&self, user: ProcessId) -> bool {
+        self.evicted.contains(&user)
     }
 }
 

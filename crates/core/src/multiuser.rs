@@ -98,6 +98,9 @@ pub struct MultiUserOutcome {
     pub completions: Vec<Nanos>,
     /// Number of GPU context switches incurred.
     pub ctx_switches: u64,
+    /// Per-user eviction flags: `true` for sessions that hit the
+    /// [`EVICT_AFTER`] repeat-offender cap and were permanently removed.
+    pub evicted: Vec<bool>,
 }
 
 /// Runs `users` concurrent instances of `spec` in `mode` and returns the
@@ -124,7 +127,23 @@ pub struct SessionFaults {
     /// integrity failure killed it): remaining GPU segments are dropped
     /// and the user's completion reflects only the work done.
     pub abort_after: Option<Nanos>,
+    /// Non-wedged engine hangs this session causes. Each blocks the
+    /// engine for the watchdog's patience window (every peer queues
+    /// behind it), then the per-context kill frees the engine and the
+    /// offender rebuilds host-side before resubmitting.
+    pub tdr_kills: u32,
+    /// Wedged hangs this session causes, each forcing a full secure TDR
+    /// reset: the engine is blocked for patience plus the kill-grace
+    /// re-polls plus the reset penalty (scrub, BIOS re-measurement,
+    /// lockdown re-assertion). At [`EVICT_AFTER`] resets the session is
+    /// permanently evicted and its remaining work dropped, which is what
+    /// bounds the lifetime cost an offender can impose on peers.
+    pub tdr_resets: u32,
 }
+
+/// Repeat-offender policy: a session that forces this many full secure
+/// resets is permanently evicted (mirrors `GpuEnclaveOptions::evict_after`).
+pub const EVICT_AFTER: u32 = 3;
 
 /// Runs heterogeneous user tasks concurrently.
 pub fn run_multiuser_mixed(
@@ -151,6 +170,7 @@ pub fn run_multiuser_degraded(
         segments: Vec<Segment>,
         next: usize,
         time: Nanos,
+        evicted: bool,
     }
     // Engine time-slice: concurrent clients interleave at this quantum,
     // which is what turns per-user contexts into context-switch traffic.
@@ -202,10 +222,56 @@ pub fn run_multiuser_degraded(
                     }
                 }
             }
+            // Watchdog offenses. Each hang blocks the engine in the
+            // offender's context — peers queue behind the blocked window
+            // exactly as they queue behind legitimate work — and then
+            // parks the offender host-side for a session rebuild before
+            // it may resubmit (the quarantine). Offenses are spread
+            // evenly through the session's GPU work. The peers' own
+            // re-establishment after a full reset overlaps the blocked
+            // window (they rebuild host-side while the engine scrubs),
+            // so the engine blockage is the whole peer-visible price.
+            let kill_block = model.tdr_patience();
+            let reset_block =
+                model.tdr_patience() + model.tdr_kill_grace() * 3 + model.tdr_reset_penalty();
+            let rebuild = model.task_init(ExecMode::Hix) + model.ipc_roundtrip * 4;
+            let resets = f.tdr_resets.min(EVICT_AFTER);
+            let evicted = f.tdr_resets >= EVICT_AFTER;
+            let gpu_positions: Vec<usize> = segments
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Segment::Gpu(..)))
+                .map(|(i, _)| i)
+                .collect();
+            let n_gpu = gpu_positions.len();
+            let total = (f.tdr_kills + resets) as usize;
+            if n_gpu > 0 && total > 0 {
+                let mut events = Vec::new();
+                events.extend((0..f.tdr_kills).map(|_| kill_block));
+                events.extend((0..resets).map(|_| reset_block));
+                if evicted {
+                    // The capping reset is this session's last act: the
+                    // watchdog evicts it, so nothing after that point —
+                    // not even the rebuild — ever runs.
+                    let last = gpu_positions[(total * n_gpu / (total + 1)).min(n_gpu - 1)];
+                    segments.truncate(last + 1);
+                }
+                // Insert back-to-front so earlier slots stay valid.
+                for (k, block) in events.iter().enumerate().rev() {
+                    let slot = gpu_positions[((k + 1) * n_gpu / (total + 1)).min(n_gpu - 1)];
+                    if k + 1 == total && evicted {
+                        segments.push(Segment::Gpu(*block, u as u32));
+                        continue;
+                    }
+                    segments.insert(slot + 1, Segment::Host(rebuild));
+                    segments.insert(slot + 1, Segment::Gpu(*block, u as u32));
+                }
+            }
             UserState {
                 segments,
                 next: 0,
                 time: Nanos::ZERO,
+                evicted,
             }
         })
         .collect();
@@ -251,6 +317,7 @@ pub fn run_multiuser_degraded(
         makespan: completions.iter().copied().fold(Nanos::ZERO, Nanos::max),
         completions,
         ctx_switches,
+        evicted: states.iter().map(|s| s.evicted).collect(),
     }
 }
 
@@ -351,6 +418,70 @@ mod tests {
         assert!(
             degraded.completions[0] <= plain.completions[0],
             "the survivor can only benefit from the freed GPU"
+        );
+    }
+
+    #[test]
+    fn tdr_peer_cost_is_bounded_per_offense() {
+        let model = CostModel::paper();
+        let specs = vec![spec(); 3];
+        let plain = run_multiuser_mixed(&model, &specs, Mode::Hix);
+        let mut faults = vec![SessionFaults::default(); 3];
+        faults[0].tdr_resets = 2;
+        let degraded = run_multiuser_degraded(&model, &specs, Mode::Hix, &faults);
+        // Each offense can cost a peer at most the engine-blocked window
+        // plus the context switches around it.
+        let per_offense = model.tdr_patience()
+            + model.tdr_kill_grace() * 3
+            + model.tdr_reset_penalty()
+            + model.ctx_switch * 2;
+        for user in 1..3 {
+            assert!(
+                degraded.completions[user] <= plain.completions[user] + per_offense * 2,
+                "peer {user} paid more than the quarantine bound"
+            );
+        }
+        assert_eq!(degraded.evicted, vec![false; 3], "2 resets < EVICT_AFTER");
+    }
+
+    #[test]
+    fn repeat_offender_eviction_caps_peer_cost() {
+        let model = CostModel::paper();
+        let specs = vec![spec(); 3];
+        // However many wedges the offender would cause, peers never pay
+        // for more than EVICT_AFTER of them: the offender is gone after
+        // the capping reset.
+        let mut capped = vec![SessionFaults::default(); 3];
+        capped[0].tdr_resets = EVICT_AFTER;
+        let mut unbounded = vec![SessionFaults::default(); 3];
+        unbounded[0].tdr_resets = 1000;
+        let at_cap = run_multiuser_degraded(&model, &specs, Mode::Hix, &capped);
+        let beyond = run_multiuser_degraded(&model, &specs, Mode::Hix, &unbounded);
+        assert!(at_cap.evicted[0] && beyond.evicted[0]);
+        assert_eq!(
+            &at_cap.completions[1..],
+            &beyond.completions[1..],
+            "peer cost must be independent of offenses beyond the cap"
+        );
+        // The evicted session dies early: its remaining work is dropped.
+        let plain = run_multiuser_mixed(&model, &specs, Mode::Hix);
+        assert_eq!(plain.evicted, vec![false; 3]);
+        assert!(beyond.completions[0] < plain.completions[0]);
+    }
+
+    #[test]
+    fn kills_are_cheaper_than_resets_for_peers() {
+        let model = CostModel::paper();
+        let specs = vec![spec(); 2];
+        let mut kills = vec![SessionFaults::default(); 2];
+        kills[0].tdr_kills = 2;
+        let mut resets = vec![SessionFaults::default(); 2];
+        resets[0].tdr_resets = 2;
+        let k = run_multiuser_degraded(&model, &specs, Mode::Hix, &kills);
+        let r = run_multiuser_degraded(&model, &specs, Mode::Hix, &resets);
+        assert!(
+            k.completions[1] <= r.completions[1],
+            "a per-context kill must never cost peers more than a full reset"
         );
     }
 

@@ -90,6 +90,11 @@ pub enum Response {
     Addr(DevAddr),
     /// Failure, with a short reason.
     Err(String),
+    /// The session's GPU context was lost to a watchdog kill or a
+    /// secure device reset. The runtime must re-establish the session
+    /// (fresh context, keys, and nonce epoch) and replay its journal
+    /// before retrying the request.
+    CtxReset,
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -228,6 +233,7 @@ impl Response {
                 out.push(2);
                 out.extend_from_slice(&va.value().to_le_bytes());
             }
+            Response::CtxReset => out.push(4),
             Response::Err(msg) => {
                 out.push(3);
                 put_str(&mut out, msg);
@@ -243,6 +249,7 @@ impl Response {
             1 => Some(Response::Ok),
             2 => Some(Response::Addr(DevAddr(get_u64(buf, &mut pos)?))),
             3 => Some(Response::Err(get_str(buf, &mut pos)?)),
+            4 => Some(Response::CtxReset),
             _ => None,
         }
     }
@@ -306,6 +313,7 @@ mod tests {
             Response::Ok,
             Response::Addr(DevAddr(42)),
             Response::Err("boom".into()),
+            Response::CtxReset,
         ] {
             assert_eq!(Response::decode(&r.encode()), Some(r));
         }

@@ -34,6 +34,23 @@ use crate::protocol::{Request, Response};
 /// data key, disjoint nonces).
 const DTOH_NONCE_BASE: u64 = 1 << 63;
 
+/// One state-bearing operation in the session's journal. After a TDR
+/// reset destroys the GPU context, replaying the journal in order against
+/// a fresh context reconstructs every module, allocation, and buffer
+/// byte-for-byte (the allocator is deterministic, so even device
+/// addresses reproduce). Reads (`DtoH`, `Sync`) carry no state and are
+/// not journaled.
+#[derive(Debug, Clone)]
+enum JournalOp {
+    LoadModule { name: String },
+    Malloc { len: u64, va: DevAddr },
+    Free { va: DevAddr },
+    HtoD { dst: DevAddr, payload: Payload },
+    Memset { va: DevAddr, len: u64, value: u8 },
+    DtoD { src: DevAddr, dst: DevAddr, len: u64 },
+    Launch { name: String, args: Vec<u64> },
+}
+
 /// A user enclave's session with the GPU enclave — the handle every
 /// "HIX CUDA" call goes through.
 pub struct HixSession {
@@ -45,6 +62,8 @@ pub struct HixSession {
     htod_nonce: u64,
     dtoh_nonce: u64,
     synthetic: bool,
+    journal: Vec<JournalOp>,
+    epoch: u32,
 }
 
 impl std::fmt::Debug for HixSession {
@@ -137,12 +156,32 @@ impl HixSession {
             htod_nonce: 0,
             dtoh_nonce: DTOH_NONCE_BASE,
             synthetic,
+            journal: Vec::new(),
+            epoch: 0,
         })
     }
 
     /// The session id.
     pub fn id(&self) -> SessionId {
         self.id
+    }
+
+    /// The session's key/nonce epoch: 0 at connect, +1 per TDR
+    /// re-establishment. Every epoch has its own channel key, data key,
+    /// replay windows, and nonce counters — nothing is resumed.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Number of journaled state-bearing operations (diagnostics).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Current HtoD nonce counter (diagnostics — lets tests assert the
+    /// nonce space restarted after a re-key rather than resuming).
+    pub fn htod_nonce(&self) -> u64 {
+        self.htod_nonce
     }
 
     /// The user enclave's process.
@@ -346,7 +385,234 @@ impl HixSession {
             Response::Ok => Ok(()),
             Response::Addr(_) => Err(HixCoreError::Protocol("unexpected address".into())),
             Response::Err(msg) => Err(HixCoreError::Remote(msg)),
+            // `exec` intercepts resets before they get here.
+            Response::CtxReset => Err(HixCoreError::Protocol("unhandled context reset".into())),
         }
+    }
+
+    /// Per-operation budget of transparent TDR recoveries before the
+    /// runtime gives up (each retry can independently draw a new fault).
+    const MAX_TDR_RETRIES: u32 = 8;
+
+    /// One operation with transparent TDR recovery on top of the ARQ
+    /// channel recovery of [`roundtrip`](Self::roundtrip): a `CtxReset`
+    /// response means the session's GPU context died to a watchdog
+    /// action — re-establish the session (fresh keys, fresh windows,
+    /// fresh nonces), replay the journal, and retry the operation.
+    fn exec(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        request: &Request,
+    ) -> Result<Response, HixCoreError> {
+        let mut resets = 0u32;
+        loop {
+            let resp = self.roundtrip(machine, enclave, request)?;
+            if !matches!(resp, Response::CtxReset) {
+                return Ok(resp);
+            }
+            resets += 1;
+            if resets > Self::MAX_TDR_RETRIES {
+                return Err(HixCoreError::Protocol(
+                    "TDR recovery budget exhausted".into(),
+                ));
+            }
+            self.recover(machine, enclave)?;
+        }
+    }
+
+    /// Re-establishes the session after a TDR action and replays the
+    /// journal, bounding the number of rebuild rounds (a replayed
+    /// operation can itself draw a fresh fault and lose the new context
+    /// too). Records the wall recovery latency.
+    fn recover(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+    ) -> Result<(), HixCoreError> {
+        // Replay restarts from op 0 whenever a *new* fault lands mid-replay (the
+        // rebuilt context is fresh, so partial replay state is unusable). Under a
+        // heavy fault plan each round is a geometric trial, so the budget here is
+        // deliberately generous; the *per-incident* latency bound lives in the
+        // escalation ladder, not in this retry count.
+        const MAX_RECOVERY_ROUNDS: u32 = 64;
+        let obs = machine.trace().obs().clone();
+        let span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "watchdog",
+            "recover",
+            &[("session", u64::from(self.id))],
+        );
+        let start = machine.clock().now();
+        let mut result = Err(HixCoreError::Protocol(
+            "TDR recovery rounds exhausted".into(),
+        ));
+        for _ in 0..MAX_RECOVERY_ROUNDS {
+            match self.try_recover_once(machine, enclave) {
+                Ok(true) => {
+                    result = Ok(());
+                    break;
+                }
+                Ok(false) => {} // another TDR mid-replay: rebuild again
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        machine.trace().metrics().observe_with(
+            "watchdog.recovery_latency_ns",
+            &LATENCY_BOUNDS_NS,
+            (machine.clock().now() - start).as_nanos(),
+        );
+        obs.exit(span, machine.clock().now().as_nanos());
+        result
+    }
+
+    /// One rebuild + full journal replay. `Ok(false)` means a replayed
+    /// operation hit another context reset (retry from the rebuild).
+    fn try_recover_once(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+    ) -> Result<bool, HixCoreError> {
+        machine.trace().metrics().inc("watchdog.recoveries");
+        // §5.5 holds here too: never accept fresh keys from an enclave
+        // that has not just re-proven its identity — the "reset" could
+        // be the OS swapping the device or the service.
+        let quote = enclave.quote(machine)?;
+        if !quote.verify(
+            &machine.provisioning_key(),
+            &crate::gpu_enclave::expected_measurement(),
+        ) {
+            return Err(HixCoreError::Attest(crate::attest::AttestError::BadReport));
+        }
+        let (channel_key, data_key) = enclave.rebuild_session(machine, self.id, &mut self.rng)?;
+        // A completely fresh epoch: cipher, wire sequences, replay
+        // windows, data key, and nonce counters all restart. Resuming
+        // any of them across a reset would reuse nonces under a key the
+        // device may have leaked while outside our control.
+        self.endpoint.rekey(channel_key);
+        self.endpoint.reset_wire(machine)?;
+        self.data_ocb = Ocb::new(&Key::from_bytes(data_key));
+        self.htod_nonce = 0;
+        self.dtoh_nonce = DTOH_NONCE_BASE;
+        self.epoch += 1;
+        for i in 0..self.journal.len() {
+            let op = self.journal[i].clone();
+            if !self.replay_op(machine, enclave, &op)? {
+                return Ok(false);
+            }
+        }
+        machine.trace().metrics().inc("watchdog.replays_completed");
+        machine.trace().emit(
+            machine.clock().now(),
+            Nanos::ZERO,
+            EventKind::Security,
+            "session recovered after TDR: journal replayed onto fresh context",
+        );
+        Ok(true)
+    }
+
+    /// Replays one journaled operation. `Ok(false)` on a nested context
+    /// reset; errors are genuine (a replay must reproduce, not fail).
+    fn replay_op(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        op: &JournalOp,
+    ) -> Result<bool, HixCoreError> {
+        let resp = match op {
+            JournalOp::LoadModule { name } => {
+                self.roundtrip(machine, enclave, &Request::LoadModule { name: name.clone() })?
+            }
+            JournalOp::Malloc { len, va } => {
+                match self.roundtrip(machine, enclave, &Request::Malloc { len: *len })? {
+                    Response::Addr(got) => {
+                        if got != *va {
+                            return Err(HixCoreError::Protocol(format!(
+                                "journal replay allocated {got:?}, expected {va:?}"
+                            )));
+                        }
+                        Response::Ok
+                    }
+                    other => other,
+                }
+            }
+            JournalOp::Free { va } => {
+                self.roundtrip(machine, enclave, &Request::Free { va: *va })?
+            }
+            JournalOp::HtoD { dst, payload } => {
+                let request = self.stage_htod(machine, *dst, payload)?;
+                let resp = self.roundtrip(machine, enclave, &request)?;
+                if matches!(resp, Response::Ok) {
+                    let chunk = machine.model().pipeline_chunk;
+                    self.htod_nonce += payload.len().div_ceil(chunk);
+                }
+                resp
+            }
+            JournalOp::Memset { va, len, value } => self.roundtrip(
+                machine,
+                enclave,
+                &Request::Memset { va: *va, len: *len, value: *value },
+            )?,
+            JournalOp::DtoD { src, dst, len } => self.roundtrip(
+                machine,
+                enclave,
+                &Request::CopyDtoD { src: *src, dst: *dst, len: *len },
+            )?,
+            JournalOp::Launch { name, args } => self.roundtrip(
+                machine,
+                enclave,
+                &Request::Launch { name: name.clone(), args: args.clone() },
+            )?,
+        };
+        match resp {
+            Response::Ok => Ok(true),
+            Response::CtxReset => Ok(false),
+            Response::Addr(_) => Err(HixCoreError::Protocol("unexpected address in replay".into())),
+            Response::Err(msg) => Err(HixCoreError::Remote(msg)),
+        }
+    }
+
+    /// Seals `payload` into the bulk area under the current epoch's data
+    /// key and nonce counter and builds the matching request. Charges the
+    /// sealing work to its own trace category (recording only — the
+    /// clock advances via the transfer closed form).
+    fn stage_htod(
+        &mut self,
+        machine: &mut Machine,
+        dst: DevAddr,
+        payload: &Payload,
+    ) -> Result<Request, HixCoreError> {
+        let chunk = machine.model().pipeline_chunk;
+        let len = payload.len();
+        let nonce_start = self.htod_nonce;
+        if !payload.is_synthetic() {
+            let bytes = payload.bytes();
+            for (i, part) in bytes.chunks(chunk as usize).enumerate() {
+                let sealed = self.data_ocb.seal(
+                    &Nonce::from_counter(nonce_start + i as u64),
+                    DATA_AAD,
+                    part,
+                );
+                self.endpoint.buffer().write(
+                    machine,
+                    self.pid,
+                    BULK_OFFSET + i as u64 * (chunk + TAG_LEN as u64),
+                    &sealed.into(),
+                )?;
+            }
+        }
+        machine.trace().metrics().add("dma.bytes_encrypted", len);
+        machine.trace().emit_with(
+            machine.clock().now(),
+            machine.model().enclave_crypt(len),
+            EventKind::EnclaveCrypto,
+            "seal stream",
+            &[("bytes", len)],
+        );
+        Ok(Request::MemcpyHtoD { dst, len, chunk, nonce_start })
     }
 
     /// `hixModuleLoad`.
@@ -360,8 +626,10 @@ impl HixSession {
         enclave: &mut GpuEnclave,
         name: &str,
     ) -> Result<(), HixCoreError> {
-        let resp = self.roundtrip(machine, enclave, &Request::LoadModule { name: name.into() })?;
-        self.expect_ok(resp)
+        let resp = self.exec(machine, enclave, &Request::LoadModule { name: name.into() })?;
+        self.expect_ok(resp)?;
+        self.journal.push(JournalOp::LoadModule { name: name.into() });
+        Ok(())
     }
 
     /// `hixMemAlloc`.
@@ -375,10 +643,14 @@ impl HixSession {
         enclave: &mut GpuEnclave,
         len: u64,
     ) -> Result<DevAddr, HixCoreError> {
-        match self.roundtrip(machine, enclave, &Request::Malloc { len })? {
-            Response::Addr(va) => Ok(va),
+        match self.exec(machine, enclave, &Request::Malloc { len })? {
+            Response::Addr(va) => {
+                self.journal.push(JournalOp::Malloc { len, va });
+                Ok(va)
+            }
             Response::Err(msg) => Err(HixCoreError::Remote(msg)),
             Response::Ok => Err(HixCoreError::Protocol("expected address".into())),
+            Response::CtxReset => Err(HixCoreError::Protocol("unhandled context reset".into())),
         }
     }
 
@@ -393,8 +665,10 @@ impl HixSession {
         enclave: &mut GpuEnclave,
         va: DevAddr,
     ) -> Result<(), HixCoreError> {
-        let resp = self.roundtrip(machine, enclave, &Request::Free { va })?;
-        self.expect_ok(resp)
+        let resp = self.exec(machine, enclave, &Request::Free { va })?;
+        self.expect_ok(resp)?;
+        self.journal.push(JournalOp::Free { va });
+        Ok(())
     }
 
     /// `hixMemcpyHtoD` — the single-copy pipelined secure transfer
@@ -431,50 +705,39 @@ impl HixSession {
             &[("bytes", len)],
         );
         let start = machine.clock().now();
-        let nonce_start = self.htod_nonce;
-        // Functional plane: seal every chunk into the bulk area.
-        if !payload.is_synthetic() {
-            let bytes = payload.bytes();
-            for (i, part) in bytes.chunks(chunk as usize).enumerate() {
-                let sealed = self.data_ocb.seal(
-                    &Nonce::from_counter(nonce_start + i as u64),
-                    DATA_AAD,
-                    part,
-                );
-                self.endpoint.buffer().write(
-                    machine,
-                    self.pid,
-                    BULK_OFFSET + i as u64 * (chunk + TAG_LEN as u64),
-                    &sealed.into(),
-                )?;
+        // Functional plane: seal every chunk into the bulk area, ask the
+        // GPU enclave to DMA + decrypt. A `CtxReset` response means the
+        // transfer's context died to a TDR action: recover and re-seal
+        // under the new epoch's key and nonces (the old sealed stream is
+        // worthless — and must be, or the reset leaked something).
+        let result = (|| {
+            let mut resets = 0u32;
+            loop {
+                let request = self.stage_htod(machine, dst, payload)?;
+                let resp = self.roundtrip(machine, enclave, &request)?;
+                if !matches!(resp, Response::CtxReset) {
+                    self.expect_ok(resp)?;
+                    self.htod_nonce += len.div_ceil(chunk);
+                    return Ok(());
+                }
+                resets += 1;
+                if resets > Self::MAX_TDR_RETRIES {
+                    return Err(HixCoreError::Protocol(
+                        "TDR recovery budget exhausted".into(),
+                    ));
+                }
+                self.recover(machine, enclave)?;
             }
+        })();
+        if result.is_ok() {
+            self.journal.push(JournalOp::HtoD { dst, payload: payload.clone() });
+            // Time plane: pipelined encrypt+DMA, then the decrypt kernel.
+            machine
+                .clock()
+                .advance_to(start + model.ipc_roundtrip + model.hix_htod(len));
         }
-        self.htod_nonce += len.div_ceil(chunk);
-        // The user-enclave sealing work is part of the pipelined closed
-        // form below; charge it to its own category (recording only —
-        // the clock is never advanced here).
-        machine.trace().metrics().add("dma.bytes_encrypted", len);
-        machine.trace().emit_with(
-            machine.clock().now(),
-            model.enclave_crypt(len),
-            EventKind::EnclaveCrypto,
-            "seal stream",
-            &[("bytes", len)],
-        );
-        let request = Request::MemcpyHtoD {
-            dst,
-            len,
-            chunk,
-            nonce_start,
-        };
-        let resp = self.roundtrip(machine, enclave, &request)?;
-        self.expect_ok(resp)?;
-        // Time plane: pipelined encrypt+DMA, then the decrypt kernel.
-        machine
-            .clock()
-            .advance_to(start + model.ipc_roundtrip + model.hix_htod(len));
         obs.exit(span, machine.clock().now().as_nanos());
-        Ok(())
+        result
     }
 
     /// `hixMemcpyDtoH` — in-GPU encryption, DMA of sealed chunks to
@@ -508,16 +771,30 @@ impl HixSession {
             &[("bytes", len)],
         );
         let start = machine.clock().now();
-        let nonce_start = self.dtoh_nonce;
-        self.dtoh_nonce += len.div_ceil(chunk);
-        let request = Request::MemcpyDtoH {
-            src,
-            len,
-            chunk,
-            nonce_start,
-        };
-        let resp = self.roundtrip(machine, enclave, &request)?;
-        self.expect_ok(resp)?;
+        // Reads are not journaled (they carry no state) but still ride
+        // the TDR-recovery loop: after a recovery the replayed journal
+        // has reconstructed the source buffer, so the retried read
+        // returns exactly the bytes the fault-free run would have.
+        let nonce_start = (|| {
+            let mut resets = 0u32;
+            loop {
+                let nonce_start = self.dtoh_nonce;
+                let request = Request::MemcpyDtoH { src, len, chunk, nonce_start };
+                let resp = self.roundtrip(machine, enclave, &request)?;
+                if !matches!(resp, Response::CtxReset) {
+                    self.expect_ok(resp)?;
+                    self.dtoh_nonce += len.div_ceil(chunk);
+                    return Ok(nonce_start);
+                }
+                resets += 1;
+                if resets > Self::MAX_TDR_RETRIES {
+                    return Err(HixCoreError::Protocol(
+                        "TDR recovery budget exhausted".into(),
+                    ));
+                }
+                self.recover(machine, enclave)?;
+            }
+        })()?;
         let payload = if self.synthetic {
             Payload::synthetic(len)
         } else {
@@ -572,8 +849,10 @@ impl HixSession {
         len: u64,
         value: u8,
     ) -> Result<(), HixCoreError> {
-        let resp = self.roundtrip(machine, enclave, &Request::Memset { va, len, value })?;
-        self.expect_ok(resp)
+        let resp = self.exec(machine, enclave, &Request::Memset { va, len, value })?;
+        self.expect_ok(resp)?;
+        self.journal.push(JournalOp::Memset { va, len, value });
+        Ok(())
     }
 
     /// `hixMemcpyDtoD` — device-to-device, never leaves the GPU, so no
@@ -590,8 +869,10 @@ impl HixSession {
         dst: DevAddr,
         len: u64,
     ) -> Result<(), HixCoreError> {
-        let resp = self.roundtrip(machine, enclave, &Request::CopyDtoD { src, dst, len })?;
-        self.expect_ok(resp)
+        let resp = self.exec(machine, enclave, &Request::CopyDtoD { src, dst, len })?;
+        self.expect_ok(resp)?;
+        self.journal.push(JournalOp::DtoD { src, dst, len });
+        Ok(())
     }
 
     /// `hixLaunchKernel` (synchronous — the GPU enclave syncs before
@@ -611,8 +892,13 @@ impl HixSession {
             name: name.into(),
             args: args.to_vec(),
         };
-        let resp = self.roundtrip(machine, enclave, &request)?;
-        self.expect_ok(resp)
+        let resp = self.exec(machine, enclave, &request)?;
+        self.expect_ok(resp)?;
+        self.journal.push(JournalOp::Launch {
+            name: name.into(),
+            args: args.to_vec(),
+        });
+        Ok(())
     }
 
     /// `hixCtxSynchronize`.
@@ -625,7 +911,7 @@ impl HixSession {
         machine: &mut Machine,
         enclave: &mut GpuEnclave,
     ) -> Result<(), HixCoreError> {
-        let resp = self.roundtrip(machine, enclave, &Request::Sync)?;
+        let resp = self.exec(machine, enclave, &Request::Sync)?;
         self.expect_ok(resp)
     }
 
@@ -672,6 +958,182 @@ mod tests {
         let mut m = standard_rig(RigOptions::default());
         let enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
         (m, enclave)
+    }
+
+    fn setup_with_evict_after(evict_after: u32) -> (Machine, GpuEnclave) {
+        let mut m = standard_rig(RigOptions::default());
+        let enclave = GpuEnclave::launch(
+            &mut m,
+            GpuEnclaveOptions {
+                evict_after,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (m, enclave)
+    }
+
+    #[test]
+    fn session_survives_gpu_hangs_with_transparent_recovery() {
+        use hix_sim::fault::{FaultConfig, FaultPlan};
+        let (mut m, mut enclave) = setup_with_evict_after(1000);
+        m.set_fault_plan(FaultPlan::new(
+            11,
+            FaultConfig {
+                gpu_hang_pm: 100,
+                gpu_lost_pm: 60,
+                gpu_spurious_pm: 60,
+                ..FaultConfig::none()
+            },
+        ));
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let dev = s.malloc(&mut m, &mut enclave, 65536).unwrap();
+        let data: Vec<u8> = (0..65536u32).map(|i| (i * 13 + 7) as u8).collect();
+        s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(data.clone()))
+            .unwrap();
+        let dev2 = s.malloc(&mut m, &mut enclave, 65536).unwrap();
+        for _ in 0..6 {
+            s.memcpy_dtod(&mut m, &mut enclave, dev, dev2, 65536).unwrap();
+        }
+        let back = s.memcpy_dtoh(&mut m, &mut enclave, dev2, 65536).unwrap();
+        assert_eq!(back.bytes(), &data[..], "recovery must be byte-identical");
+        let hangs = m.trace().metrics().counter("watchdog.hangs_detected");
+        assert!(hangs > 0, "the plan must actually hang at these rates");
+        assert!(m.trace().metrics().counter("watchdog.kills") > 0);
+        assert_eq!(
+            m.trace().metrics().counter("watchdog.resets"),
+            0,
+            "un-wedged hangs recover at the kill rung, never a full reset"
+        );
+        assert!(s.epoch() > 0, "recovery must have re-keyed the session");
+        assert_eq!(
+            m.trace().count(EventKind::Fault),
+            m.trace().metrics().counter("fault.injected"),
+            "every injection emits exactly one Fault event"
+        );
+    }
+
+    #[test]
+    fn wedged_context_forces_secure_reset_and_fresh_epoch() {
+        use hix_sim::fault::{FaultConfig, FaultPlan};
+        let (mut m, mut enclave) = setup_with_evict_after(1000);
+        m.set_fault_plan(FaultPlan::new(
+            3,
+            FaultConfig {
+                gpu_hang_pm: 100,
+                gpu_wedge_pm: 1000,
+                ..FaultConfig::none()
+            },
+        ));
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let dev = s.malloc(&mut m, &mut enclave, 32768).unwrap();
+        let data: Vec<u8> = (0..32768u32).map(|i| (i ^ 0x5a) as u8).collect();
+        s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(data.clone()))
+            .unwrap();
+        let dev2 = s.malloc(&mut m, &mut enclave, 32768).unwrap();
+        for _ in 0..8 {
+            s.memcpy_dtod(&mut m, &mut enclave, dev, dev2, 32768).unwrap();
+        }
+        let back = s.memcpy_dtoh(&mut m, &mut enclave, dev2, 32768).unwrap();
+        assert_eq!(back.bytes(), &data[..]);
+        assert!(
+            m.trace().metrics().counter("watchdog.resets") > 0,
+            "wedged contexts must escalate to the reset rung"
+        );
+        assert!(
+            m.trace().metrics().counter("gpu.kill_ignored") > 0,
+            "the kill rung must have been tried and ignored first"
+        );
+        assert!(s.epoch() > 0);
+        // Re-keyed, not resumed: the HtoD nonce counter ends at exactly
+        // the fault-free value (the one journaled transfer's chunks) —
+        // a counter resumed across re-keys would exceed it after the
+        // replays.
+        let chunks = 32768u64.div_ceil(m.model().pipeline_chunk);
+        assert_eq!(s.htod_nonce(), chunks);
+    }
+
+    #[test]
+    fn vram_corruption_is_detected_and_recovered() {
+        use hix_sim::fault::{FaultConfig, FaultPlan};
+        let (mut m, mut enclave) = setup_with_evict_after(1000);
+        m.set_fault_plan(FaultPlan::new(
+            9,
+            FaultConfig {
+                gpu_vram_flip_pm: 250,
+                ..FaultConfig::none()
+            },
+        ));
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let dev = s.malloc(&mut m, &mut enclave, 16384).unwrap();
+        let data: Vec<u8> = (0..16384u32).map(|i| (i * 7 + 3) as u8).collect();
+        s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(data.clone()))
+            .unwrap();
+        let dev2 = s.malloc(&mut m, &mut enclave, 16384).unwrap();
+        for _ in 0..6 {
+            s.memcpy_dtod(&mut m, &mut enclave, dev, dev2, 16384).unwrap();
+        }
+        let back = s.memcpy_dtoh(&mut m, &mut enclave, dev2, 16384).unwrap();
+        assert_eq!(
+            back.bytes(),
+            &data[..],
+            "corrupted buffers must be reconstructed from the journal, never read back"
+        );
+        assert!(
+            m.trace().metrics().counter("watchdog.ecc_kills") > 0,
+            "the plan must actually flip bits at these rates"
+        );
+    }
+
+    #[test]
+    fn repeat_offender_is_permanently_evicted() {
+        use hix_sim::fault::{FaultConfig, FaultPlan};
+        let (mut m, mut enclave) = setup_with_evict_after(2);
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let a = s.malloc(&mut m, &mut enclave, 4096).unwrap();
+        let b = s.malloc(&mut m, &mut enclave, 4096).unwrap();
+        // Every eligible command hangs wedged: kill is ignored, every
+        // hang costs a full reset.
+        m.set_fault_plan(FaultPlan::new(
+            1,
+            FaultConfig {
+                gpu_hang_pm: 1000,
+                gpu_wedge_pm: 1000,
+                ..FaultConfig::none()
+            },
+        ));
+        let err = s.memcpy_dtod(&mut m, &mut enclave, a, b, 4096);
+        assert!(matches!(err, Err(HixCoreError::Evicted)), "{err:?}");
+        assert!(enclave.is_evicted(s.pid()));
+        assert_eq!(enclave.offenses(s.pid()), 2);
+        assert_eq!(m.trace().metrics().counter("watchdog.resets"), 2);
+        assert_eq!(m.trace().metrics().counter("watchdog.evictions"), 1);
+        // Eviction is permanent: even on a healthy GPU the user cannot
+        // re-establish.
+        m.clear_fault_plan();
+        let again = s.sync(&mut m, &mut enclave);
+        assert!(matches!(again, Err(HixCoreError::Evicted)), "{again:?}");
+    }
+
+    #[test]
+    fn clean_runs_take_zero_watchdog_actions() {
+        let (mut m, mut enclave) = setup();
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let dev = s.malloc(&mut m, &mut enclave, 65536).unwrap();
+        s.memcpy_htod(&mut m, &mut enclave, dev, &Payload::from_bytes(vec![0x42; 65536]))
+            .unwrap();
+        let _ = s.memcpy_dtoh(&mut m, &mut enclave, dev, 65536).unwrap();
+        s.close(&mut m, &mut enclave).unwrap();
+        for metric in [
+            "watchdog.hangs_detected",
+            "watchdog.kills",
+            "watchdog.resets",
+            "watchdog.recoveries",
+            "watchdog.offenses",
+            "watchdog.evictions",
+        ] {
+            assert_eq!(m.trace().metrics().counter(metric), 0, "{metric} on a clean run");
+        }
     }
 
     #[test]

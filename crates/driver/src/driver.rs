@@ -194,6 +194,74 @@ impl GpuDriver {
         Ok(())
     }
 
+    /// Whether the engines report busy (bit0 of STATUS): commands
+    /// pending, a latched hang, or a lost completion. The TDR
+    /// watchdog's hang signal — a clean [`GpuDriver::sync`] that leaves
+    /// the device busy means no forward progress is being made.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MMIO faults.
+    pub fn status_busy(&self, machine: &mut Machine) -> Result<bool, DriverError> {
+        Ok(self.reg_read(machine, bar0::STATUS)? & 1 != 0)
+    }
+
+    /// Rings the KILL doorbell for `ctx` (the watchdog's middle
+    /// escalation rung): the device preempts the context, drops its
+    /// queued work, and scrubs and destroys it. Host-side bookkeeping
+    /// is forgotten in the same step. A wedged context ignores the
+    /// doorbell — check [`GpuDriver::status_busy`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MMIO faults.
+    pub fn kill_ctx(&mut self, machine: &mut Machine, ctx: CtxId) -> Result<(), DriverError> {
+        self.reg_write(machine, bar0::KILL, u64::from(ctx.0))?;
+        self.forget_ctx(ctx);
+        Ok(())
+    }
+
+    /// Drops host-side bookkeeping for a context whose device-side half
+    /// is already gone (killed, or lost to a device reset), reclaiming
+    /// its frames without submitting anything.
+    pub fn forget_ctx(&mut self, ctx: CtxId) {
+        let keys: Vec<(u32, u64)> = self
+            .allocations
+            .keys()
+            .filter(|(c, _)| *c == ctx.0)
+            .copied()
+            .collect();
+        for key in keys {
+            let alloc = self.allocations.remove(&key).expect("key listed");
+            self.free_frames
+                .extend(alloc.page_frames.into_iter().flatten());
+        }
+        self.heaps.remove(&ctx.0);
+    }
+
+    /// Re-synchronizes the driver with a freshly reset device: every
+    /// context, allocation, and loaded module is gone on the device, so
+    /// the host-side mirrors are cleared too (the MMIO mappings survive
+    /// a function-level reset). Context ids stay monotonic so post-reset
+    /// contexts never alias pre-reset ones. Verifies the device still
+    /// answers with the GPU magic.
+    ///
+    /// # Errors
+    ///
+    /// Fails if MMIO is unreachable or the magic does not match.
+    pub fn reinit_after_reset(&mut self, machine: &mut Machine) -> Result<(), DriverError> {
+        let magic = self.reg_read(machine, bar0::ID)?;
+        if magic != GPU_MAGIC {
+            return Err(DriverError::NotAGpu);
+        }
+        self.vram_next = 0x10_0000;
+        self.free_frames.clear();
+        self.heaps.clear();
+        self.allocations.clear();
+        self.modules.clear();
+        Ok(())
+    }
+
     /// Creates a GPU context.
     ///
     /// # Errors
@@ -772,6 +840,41 @@ mod tests {
         driver.dma_dtoh(&mut m, ctx, b, &out, 0, 4096).unwrap();
         driver.sync(&mut m).unwrap();
         assert_eq!(out.read(&mut m, driver.pid(), 0, 16).unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn kill_ctx_recovers_a_hung_device() {
+        use hix_sim::fault::{FaultConfig, FaultPlan};
+        let (mut m, _pid, mut driver) = setup();
+        let ctx = driver.create_ctx(&mut m).unwrap();
+        let dev = driver.malloc(&mut m, ctx, 4096).unwrap();
+        m.set_fault_plan(FaultPlan::new(
+            1,
+            FaultConfig { gpu_hang_pm: 1000, ..FaultConfig::none() },
+        ));
+        driver.copy_dtod(&mut m, ctx, dev, dev, 64).unwrap();
+        driver.sync(&mut m).unwrap(); // no error code — just no progress
+        assert!(driver.status_busy(&mut m).unwrap(), "hang leaves engines busy");
+        m.clear_fault_plan();
+        driver.kill_ctx(&mut m, ctx).unwrap();
+        assert!(!driver.status_busy(&mut m).unwrap(), "kill unblocks the device");
+        // The latched KILLED code surfaces exactly once at the next sync.
+        assert_eq!(driver.sync(&mut m), Err(DriverError::Gpu(errcode::KILLED)));
+        driver.sync(&mut m).unwrap();
+    }
+
+    #[test]
+    fn reinit_after_reset_resyncs_bookkeeping() {
+        let (mut m, _pid, mut driver) = setup();
+        let ctx = driver.create_ctx(&mut m).unwrap();
+        let _dev = driver.malloc(&mut m, ctx, 8192).unwrap();
+        m.fabric_mut().reset_device(GPU_BDF);
+        driver.reinit_after_reset(&mut m).unwrap();
+        let ctx2 = driver.create_ctx(&mut m).unwrap();
+        assert!(ctx2.0 > ctx.0, "context ids stay monotonic across reset");
+        let dev2 = driver.malloc(&mut m, ctx2, 4096).unwrap();
+        driver.memset(&mut m, ctx2, dev2, 4096, 7).unwrap();
+        driver.sync(&mut m).unwrap();
     }
 
     #[test]

@@ -241,6 +241,21 @@ impl GpuCommand {
         )
     }
 
+    /// Whether a seeded device fault may target this command. Narrower
+    /// than [`uses_engines`](Self::uses_engines): `Memset` is exempt so
+    /// scrub-on-free/reset can never itself hang, and the control-plane
+    /// commands (context/mapping/DH) are exempt so session establishment
+    /// stays reliable — hangs strike the data plane, where real TDRs do.
+    pub fn fault_eligible(&self) -> bool {
+        matches!(
+            self,
+            GpuCommand::DmaHtoD { .. }
+                | GpuCommand::DmaDtoH { .. }
+                | GpuCommand::CopyDtoD { .. }
+                | GpuCommand::Launch { .. }
+        )
+    }
+
     /// Serializes the command for the submission window.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);

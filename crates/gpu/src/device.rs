@@ -9,6 +9,7 @@ use hix_crypto::drbg::HmacDrbg;
 use hix_crypto::kdf;
 use hix_pcie::config::{BarIndex, ConfigSpace};
 use hix_pcie::device::{DmaBus, PcieDevice};
+use hix_sim::fault::{DeviceFault, FaultPlan};
 use hix_sim::{Clock, CostModel, EventKind, Nanos, Trace};
 
 use crate::cmd::GpuCommand;
@@ -48,6 +49,15 @@ impl Default for GpuConfig {
     }
 }
 
+/// A latched engine hang: the command processor stops making forward
+/// progress until the offending context is killed (or, if `wedged`, the
+/// whole device is reset).
+#[derive(Debug, Clone, Copy)]
+struct HangState {
+    ctx: CtxId,
+    wedged: bool,
+}
+
 /// The GPU device model. Attach to a [`hix_pcie::PcieFabric`] and drive it
 /// through MMIO.
 pub struct GpuDevice {
@@ -66,6 +76,9 @@ pub struct GpuDevice {
     fault_addr: u64,
     fault_ctx: u32,
     engine_ctx: Option<CtxId>,
+    fault_plan: Option<FaultPlan>,
+    hang: Option<HangState>,
+    completion_lost: Option<CtxId>,
     kernels: BTreeMap<u64, Box<dyn GpuKernel>>,
     drbg: HmacDrbg,
     group: DhGroup,
@@ -121,6 +134,9 @@ impl GpuDevice {
             fault_addr: 0,
             fault_ctx: 0,
             engine_ctx: None,
+            fault_plan: None,
+            hang: None,
+            completion_lost: None,
             kernels: BTreeMap::new(),
             drbg,
             group: DhGroup::sim(),
@@ -207,7 +223,15 @@ impl GpuDevice {
 
     fn set_error(&mut self, code: u32) {
         self.error = code;
-        self.trace.metrics().inc("gpu.errors");
+        let metrics = self.trace.metrics();
+        metrics.inc("gpu.errors");
+        // A raised (not injected) fault: the device *detected* a real
+        // problem — e.g. an integrity failure after a bit-flip landed in
+        // a sealed staging buffer. Ledgered separately so the exact
+        // reconciliation `Fault events == fault.injected +
+        // fault.detected` holds even when one injection cascades into a
+        // detected error downstream.
+        metrics.inc("fault.detected");
         self.trace.emit_with(
             self.clock.now(),
             Nanos::ZERO,
@@ -215,6 +239,100 @@ impl GpuDevice {
             "gpu error",
             &[("code", code as u64)],
         );
+    }
+
+    /// Latches an error code without the [`GpuDevice::set_error`] `Fault`
+    /// event. Injected device faults account their own single `Fault`
+    /// event through [`GpuDevice::inject_ledger`], keeping the
+    /// `fault.injected` == `Fault`-event-count reconciliation exact; the
+    /// KILL doorbell uses it too because a kill is a recovery action,
+    /// not a fault.
+    fn latch_error(&mut self, code: u32) {
+        self.error = code;
+        self.trace.metrics().inc("gpu.errors");
+    }
+
+    /// Accounts one injected device fault: the `fault.injected` total,
+    /// the per-kind `fault.injected.gpu.*` counter, and exactly one
+    /// `Fault`-kind trace event.
+    fn inject_ledger(&self, kind: &'static str, ctx: CtxId) {
+        let metrics = self.trace.metrics();
+        metrics.inc("fault.injected");
+        metrics.inc(&format!("fault.injected.{kind}"));
+        self.trace.emit_with(
+            self.clock.now(),
+            Nanos::ZERO,
+            EventKind::Fault,
+            format!("inject {kind}"),
+            &[("ctx", u64::from(ctx.0))],
+        );
+    }
+
+    /// Flips one byte inside the context's resident VRAM footprint and
+    /// latches an ECC error. Returns whether the flip was applied (a
+    /// context with no resident pages has no live buffer to corrupt).
+    fn apply_vram_flip(&mut self, ctx: CtxId, offset: u64, xor: u8) -> bool {
+        let Some(context) = self.ctxs.get(&ctx) else {
+            return false;
+        };
+        let frames = context.frames();
+        if frames.is_empty() {
+            return false;
+        }
+        let bytes = frames.len() as u64 * GPU_PAGE_SIZE;
+        let target = offset % bytes;
+        let pa = frames[(target / GPU_PAGE_SIZE) as usize] + target % GPU_PAGE_SIZE;
+        let mut byte = [0u8; 1];
+        self.vram.read(pa, &mut byte);
+        self.vram.write(pa, &[byte[0] ^ xor]);
+        self.fault_ctx = ctx.0;
+        self.latch_error(errcode::ECC);
+        true
+    }
+
+    /// The KILL doorbell: preempts and destroys `ctx`, dropping its
+    /// queued commands and scrubbing its VRAM (DestroyCtx semantics). A
+    /// wedged hang ignores the kill — only a full reset clears it.
+    fn kill_ctx(&mut self, ctx: CtxId) {
+        if let Some(hang) = self.hang {
+            if hang.ctx == ctx {
+                if hang.wedged {
+                    // The context ignores preemption; the watchdog's
+                    // next rung is a secure device reset.
+                    self.trace.metrics().inc("gpu.kill_ignored");
+                    return;
+                }
+                self.hang = None;
+            }
+        }
+        if self.completion_lost == Some(ctx) {
+            self.completion_lost = None;
+        }
+        self.queue.retain(|cmd| cmd.ctx() != ctx);
+        if let Some(context) = self.ctxs.remove(&ctx) {
+            let frames = context.frames();
+            let bytes = frames.len() as u64 * GPU_PAGE_SIZE;
+            for frame in frames {
+                self.vram.fill(frame, GPU_PAGE_SIZE, 0);
+            }
+            self.dh_keys.remove(&ctx);
+            if self.engine_ctx == Some(ctx) {
+                self.engine_ctx = None;
+            }
+            self.charge_with(
+                Nanos::for_throughput(bytes.max(1), VRAM_BW),
+                EventKind::GpuMem,
+                "kill ctx",
+                &[("bytes", bytes)],
+            );
+            self.trace.metrics().inc("gpu.kills");
+            self.latch_error(errcode::KILLED);
+        }
+    }
+
+    /// Whether the engines are blocked on a latched hang (diagnostics).
+    pub fn is_hung(&self) -> bool {
+        self.hang.is_some()
     }
 
     fn exec(&mut self, cmd: GpuCommand, dma: &mut dyn DmaBus) {
@@ -517,7 +635,11 @@ impl PcieDevice for GpuDevice {
             BarIndex(0) => {
                 let value: u64 = match offset & !0x7 {
                     bar0::ID => GPU_MAGIC,
-                    bar0::STATUS => u64::from(!self.queue.is_empty()),
+                    bar0::STATUS => u64::from(
+                        !self.queue.is_empty()
+                            || self.hang.is_some()
+                            || self.completion_lost.is_some(),
+                    ),
                     bar0::FENCE => self.fence,
                     bar0::ERROR => self.error as u64,
                     bar0::APERTURE => self.aperture,
@@ -571,6 +693,12 @@ impl PcieDevice for GpuDevice {
                     let mut bytes = [0u8; 8];
                     bytes[..data.len().min(8)].copy_from_slice(&data[..data.len().min(8)]);
                     self.aperture = u64::from_le_bytes(bytes);
+                }
+                bar0::KILL => {
+                    let mut bytes = [0u8; 4];
+                    let n = data.len().min(4);
+                    bytes[..n].copy_from_slice(&data[..n]);
+                    self.kill_ctx(CtxId(u32::from_le_bytes(bytes)));
                 }
                 bar0::DOORBELL => {
                     let mut bytes = [0u8; 8];
@@ -628,17 +756,70 @@ impl PcieDevice for GpuDevice {
         self.fault_addr = 0;
         self.fault_ctx = 0;
         self.engine_ctx = None;
+        // A full function-level reset un-wedges even a context that
+        // ignored the KILL doorbell; the fault plan survives (it models
+        // the environment, not device state).
+        self.hang = None;
+        self.completion_lost = None;
         self.vram.clear();
         self.charge(Nanos::from_millis(10), EventKind::Init, "gpu reset");
     }
 
+    fn install_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
     fn tick(&mut self, dma: &mut dyn DmaBus) -> bool {
+        if self.hang.is_some() {
+            // The command processor is blocked on the hung command; no
+            // forward progress until a KILL or a reset.
+            return false;
+        }
         let Some(cmd) = self.queue.pop_front() else {
             return false;
         };
-        self.exec(cmd, dma);
-        self.fence += 1;
-        true
+        let fault = match &self.fault_plan {
+            Some(plan) if cmd.fault_eligible() => plan.sample_gpu_fault(),
+            _ => None,
+        };
+        match fault {
+            Some(hang @ DeviceFault::Hang { wedged }) => {
+                self.inject_ledger(hang.kind(), cmd.ctx());
+                self.hang = Some(HangState { ctx: cmd.ctx(), wedged });
+                false
+            }
+            Some(lost @ DeviceFault::LostCompletion) => {
+                let ctx = cmd.ctx();
+                self.inject_ledger(lost.kind(), ctx);
+                self.exec(cmd, dma);
+                // The work is done but the fence update is dropped: the
+                // host observes a busy engine that never completes.
+                self.completion_lost = Some(ctx);
+                false
+            }
+            Some(flip @ DeviceFault::VramFlip { offset, xor }) => {
+                let ctx = cmd.ctx();
+                self.exec(cmd, dma);
+                if self.apply_vram_flip(ctx, offset, xor) {
+                    self.inject_ledger(flip.kind(), ctx);
+                }
+                self.fence += 1;
+                true
+            }
+            Some(spurious @ DeviceFault::Spurious) => {
+                self.inject_ledger(spurious.kind(), cmd.ctx());
+                self.exec(cmd, dma);
+                // The command completed fine; the error latch lies.
+                self.latch_error(errcode::SPURIOUS);
+                self.fence += 1;
+                true
+            }
+            None => {
+                self.exec(cmd, dma);
+                self.fence += 1;
+                true
+            }
+        }
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -933,6 +1114,202 @@ mod tests {
         submit(&mut dev, GpuCommand::Launch { ctx: CtxId(1), kernel: 42, args: vec![] });
         drain(&mut dev, &mut host);
         assert_eq!(dev.error(), errcode::NO_KERNEL);
+    }
+
+    /// A plan whose only non-zero rate is `field`=1000‰, so every
+    /// eligible command draws exactly that fault.
+    fn certain_plan(config: hix_sim::fault::FaultConfig) -> FaultPlan {
+        FaultPlan::new(0xdead_beef, config)
+    }
+
+    fn hang_cfg(wedge_pm: u32) -> hix_sim::fault::FaultConfig {
+        hix_sim::fault::FaultConfig {
+            gpu_hang_pm: 1000,
+            gpu_wedge_pm: wedge_pm,
+            ..hix_sim::fault::FaultConfig::none()
+        }
+    }
+
+    /// Creates ctx 1 with one mapped page at `pa` (control-plane
+    /// commands are not fault-eligible, so this works under any plan).
+    fn ctx_with_page(dev: &mut GpuDevice, host: &mut HostStub, pa: u64) {
+        submit(dev, GpuCommand::CreateCtx { ctx: CtxId(1) });
+        submit(dev, GpuCommand::MapPage { ctx: CtxId(1), va: DevAddr(0), pa });
+        drain(dev, host);
+        assert_eq!(dev.error(), errcode::NONE);
+    }
+
+    fn status(dev: &mut GpuDevice) -> u64 {
+        let mut buf = [0u8; 8];
+        dev.mmio_read(BarIndex(0), bar0::STATUS, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    #[test]
+    fn hang_blocks_engine_and_kill_recovers() {
+        let mut dev = device();
+        let mut host = HostStub::default();
+        ctx_with_page(&mut dev, &mut host, 0x3000);
+        dev.install_fault_plan(Some(certain_plan(hang_cfg(0))));
+        submit(&mut dev, GpuCommand::CopyDtoD { ctx: CtxId(1), src: DevAddr(0), dst: DevAddr(64), len: 64 });
+        assert!(!dev.tick(&mut host), "hung tick makes no progress");
+        assert!(dev.is_hung());
+        assert_eq!(status(&mut dev), 1, "busy while hung");
+        assert_eq!(dev.fence(), 2, "fence did not advance past the hang");
+        drain(&mut dev, &mut host); // still no progress
+        assert!(dev.is_hung());
+        // The KILL doorbell preempts the offender and scrubs it.
+        dev.mmio_write(BarIndex(0), bar0::KILL, &1u32.to_le_bytes());
+        assert!(!dev.is_hung());
+        assert_eq!(status(&mut dev), 0, "idle after the kill");
+        assert_eq!(dev.error(), errcode::KILLED);
+        assert!(dev.context(CtxId(1)).is_none(), "killed context destroyed");
+    }
+
+    #[test]
+    fn wedged_hang_ignores_kill_but_reset_clears_it() {
+        let mut dev = device();
+        let mut host = HostStub::default();
+        ctx_with_page(&mut dev, &mut host, 0x3000);
+        dev.install_fault_plan(Some(certain_plan(hang_cfg(1000))));
+        submit(&mut dev, GpuCommand::CopyDtoD { ctx: CtxId(1), src: DevAddr(0), dst: DevAddr(64), len: 64 });
+        assert!(!dev.tick(&mut host));
+        dev.mmio_write(BarIndex(0), bar0::KILL, &1u32.to_le_bytes());
+        assert!(dev.is_hung(), "a wedged context ignores the kill doorbell");
+        assert_eq!(status(&mut dev), 1);
+        dev.reset();
+        assert!(!dev.is_hung(), "full reset un-wedges the device");
+        assert_eq!(status(&mut dev), 0);
+    }
+
+    #[test]
+    fn lost_completion_latches_busy_despite_finished_work() {
+        let mut dev = device();
+        let mut host = HostStub::default();
+        ctx_with_page(&mut dev, &mut host, 0x3000);
+        dev.install_fault_plan(Some(certain_plan(hix_sim::fault::FaultConfig {
+            gpu_lost_pm: 1000,
+            ..hix_sim::fault::FaultConfig::none()
+        })));
+        // Memset is not fault-eligible (scrubbing must never hang), so
+        // it seeds the page even under the always-fault plan.
+        submit(&mut dev, GpuCommand::Memset { ctx: CtxId(1), va: DevAddr(0), len: 16, value: 0x55 });
+        assert!(dev.tick(&mut host));
+        submit(&mut dev, GpuCommand::CopyDtoD { ctx: CtxId(1), src: DevAddr(0), dst: DevAddr(16), len: 16 });
+        assert!(!dev.tick(&mut host));
+        let mut raw = [0u8; 16];
+        dev.vram().read(0x3010, &mut raw);
+        assert_eq!(raw, [0x55; 16], "the work itself completed");
+        assert_eq!(status(&mut dev), 1, "but the completion was lost");
+        dev.install_fault_plan(None);
+        dev.mmio_write(BarIndex(0), bar0::KILL, &1u32.to_le_bytes());
+        assert_eq!(status(&mut dev), 0, "kill clears the latch");
+    }
+
+    #[test]
+    fn vram_flip_corrupts_live_buffer_and_reports_ecc() {
+        let mut dev = device();
+        let mut host = HostStub::default();
+        ctx_with_page(&mut dev, &mut host, 0x3000);
+        dev.install_fault_plan(Some(certain_plan(hix_sim::fault::FaultConfig {
+            gpu_vram_flip_pm: 1000,
+            ..hix_sim::fault::FaultConfig::none()
+        })));
+        submit(&mut dev, GpuCommand::Memset { ctx: CtxId(1), va: DevAddr(0), len: 4096, value: 0xaa });
+        assert!(dev.tick(&mut host));
+        submit(&mut dev, GpuCommand::CopyDtoD { ctx: CtxId(1), src: DevAddr(0), dst: DevAddr(0), len: 4096 });
+        assert!(dev.tick(&mut host), "an ECC flip does not stall the engine");
+        let mut raw = [0u8; 4096];
+        dev.vram().read(0x3000, &mut raw);
+        let flipped = raw.iter().filter(|&&b| b != 0xaa).count();
+        assert_eq!(flipped, 1, "exactly one byte corrupted");
+        assert_eq!(dev.error(), errcode::ECC);
+        let mut buf = [0u8; 8];
+        dev.mmio_read(BarIndex(0), bar0::FAULT_CTX, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 1, "ECC names the owning context");
+    }
+
+    #[test]
+    fn spurious_fault_completes_work_but_latches_error() {
+        let mut dev = device();
+        let mut host = HostStub::default();
+        ctx_with_page(&mut dev, &mut host, 0x3000);
+        dev.install_fault_plan(Some(certain_plan(hix_sim::fault::FaultConfig {
+            gpu_spurious_pm: 1000,
+            ..hix_sim::fault::FaultConfig::none()
+        })));
+        submit(&mut dev, GpuCommand::Memset { ctx: CtxId(1), va: DevAddr(0), len: 16, value: 0x77 });
+        assert!(dev.tick(&mut host));
+        submit(&mut dev, GpuCommand::CopyDtoD { ctx: CtxId(1), src: DevAddr(0), dst: DevAddr(16), len: 16 });
+        assert!(dev.tick(&mut host));
+        let mut raw = [0u8; 16];
+        dev.vram().read(0x3010, &mut raw);
+        assert_eq!(raw, [0x77; 16]);
+        assert_eq!(dev.error(), errcode::SPURIOUS);
+        assert_eq!(status(&mut dev), 0, "no residual busy state");
+    }
+
+    #[test]
+    fn injections_account_one_fault_event_each() {
+        let trace = Trace::new();
+        let mut dev = GpuDevice::new(
+            GpuConfig { vram_size: 16 << 20, ..GpuConfig::default() },
+            Clock::new(),
+            CostModel::paper(),
+            trace.clone(),
+        );
+        let mut host = HostStub::default();
+        ctx_with_page(&mut dev, &mut host, 0x3000);
+        dev.install_fault_plan(Some(certain_plan(hang_cfg(0))));
+        submit(&mut dev, GpuCommand::CopyDtoD { ctx: CtxId(1), src: DevAddr(0), dst: DevAddr(16), len: 16 });
+        assert!(!dev.tick(&mut host));
+        dev.mmio_write(BarIndex(0), bar0::KILL, &1u32.to_le_bytes());
+        let metrics = trace.metrics();
+        assert_eq!(metrics.counter("fault.injected"), 1);
+        assert_eq!(metrics.counter("fault.injected.gpu.hang"), 1);
+        assert_eq!(
+            trace.count(EventKind::Fault),
+            1,
+            "one Fault event per injection; the kill emits none"
+        );
+    }
+
+    #[test]
+    fn kill_drops_only_the_victims_queued_commands() {
+        let mut dev = device();
+        let mut host = HostStub::default();
+        for c in 1..=2u32 {
+            submit(&mut dev, GpuCommand::CreateCtx { ctx: CtxId(c) });
+            submit(&mut dev, GpuCommand::MapPage { ctx: CtxId(c), va: DevAddr(0), pa: u64::from(c) * 0x1000 });
+        }
+        drain(&mut dev, &mut host);
+        submit(&mut dev, GpuCommand::Memset { ctx: CtxId(1), va: DevAddr(0), len: 16, value: 1 });
+        submit(&mut dev, GpuCommand::Memset { ctx: CtxId(2), va: DevAddr(0), len: 16, value: 2 });
+        dev.mmio_write(BarIndex(0), bar0::KILL, &1u32.to_le_bytes());
+        assert_eq!(dev.pending(), 1, "victim's queued work dropped, peer's kept");
+        dev.mmio_write(BarIndex(0), bar0::ERROR, &[0]);
+        drain(&mut dev, &mut host);
+        assert_eq!(dev.error(), errcode::NONE);
+        let mut raw = [0u8; 16];
+        dev.vram().read(0x2000, &mut raw);
+        assert_eq!(raw, [2u8; 16], "the peer's memset still ran");
+        dev.vram().read(0x1000, &mut raw);
+        assert_eq!(raw, [0u8; 16], "the victim's page was scrubbed by the kill");
+    }
+
+    #[test]
+    fn channel_only_plan_leaves_device_untouched() {
+        let mut dev = device();
+        let mut host = HostStub::default();
+        dev.install_fault_plan(Some(FaultPlan::new(7, hix_sim::fault::FaultConfig::heavy())));
+        ctx_with_page(&mut dev, &mut host, 0x3000);
+        for _ in 0..50 {
+            submit(&mut dev, GpuCommand::Memset { ctx: CtxId(1), va: DevAddr(0), len: 64, value: 3 });
+        }
+        drain(&mut dev, &mut host);
+        assert_eq!(dev.error(), errcode::NONE);
+        assert_eq!(dev.fence(), 52, "no device fault ever fires");
+        assert!(!dev.is_hung());
     }
 
     #[test]

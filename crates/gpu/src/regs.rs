@@ -9,6 +9,7 @@
 //! 0x0028  DOORBELL    (wo)  write = length of the staged command
 //! 0x0030  CTX_SWITCH  (ro)  context-switch counter (diagnostics)
 //! 0x0038  VRAM_SIZE   (ro)  VRAM capacity in bytes
+//! 0x0050  KILL        (wo)  write a context id to kill/preempt it
 //! 0x1000  CMD_WINDOW  (wo)  staging area for one serialized command
 //! 0x2000  RESP        (ro)  response buffer (DH values)
 //! ```
@@ -38,6 +39,10 @@ pub mod bar0 {
     pub const FAULT_ADDR: u64 = 0x0040;
     /// Context id of the last PAGE_FAULT.
     pub const FAULT_CTX: u64 = 0x0048;
+    /// Kill doorbell: write a context id to kill/preempt that context
+    /// (drops its queued work, scrubs and destroys it). The TDR
+    /// watchdog's middle escalation rung. A wedged context ignores it.
+    pub const KILL: u64 = 0x0050;
     /// Command staging window.
     pub const CMD_WINDOW: u64 = 0x1000;
     /// Size of the staging window.
@@ -73,4 +78,13 @@ pub mod errcode {
     /// Recoverable page fault (demand paging extension): the faulting
     /// address is in `bar0::FAULT_ADDR`; re-submit after mapping.
     pub const PAGE_FAULT: u32 = 10;
+    /// ECC error: a bit-flip was detected in a live VRAM buffer; the
+    /// owning context id is in `bar0::FAULT_CTX`.
+    pub const ECC: u32 = 11;
+    /// Spurious engine fault: the device latched an error although the
+    /// command actually completed.
+    pub const SPURIOUS: u32 = 12;
+    /// A context was killed via the `bar0::KILL` doorbell while it had
+    /// work pending.
+    pub const KILLED: u32 = 13;
 }

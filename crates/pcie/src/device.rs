@@ -75,6 +75,11 @@ pub trait PcieDevice: Any {
         false
     }
 
+    /// Installs (or, with `None`, removes) the machine's fault plan so
+    /// the device can inject seeded device-side faults. Devices without
+    /// a fault model ignore it.
+    fn install_fault_plan(&mut self, _plan: Option<hix_sim::fault::FaultPlan>) {}
+
     /// Downcasting support so the platform can reach device-specific APIs.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }

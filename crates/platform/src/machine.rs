@@ -149,13 +149,23 @@ impl Machine {
     /// adversary surface — the OS owns the transport and may perturb it
     /// at will; only integrity/confidentiality are hardware-enforced.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault_plan = Some(plan);
+        self.fault_plan = Some(plan.clone());
+        for bdf in self.fabric.endpoints() {
+            if let Some(dev) = self.fabric.device_mut(bdf) {
+                dev.install_fault_plan(Some(plan.clone()));
+            }
+        }
     }
 
     /// Removes the active fault plan (the transport behaves ideally
     /// again).
     pub fn clear_fault_plan(&mut self) {
         self.fault_plan = None;
+        for bdf in self.fabric.endpoints() {
+            if let Some(dev) = self.fabric.device_mut(bdf) {
+                dev.install_fault_plan(None);
+            }
+        }
     }
 
     /// The active fault plan, if any (cheap handle clone).

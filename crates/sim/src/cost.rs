@@ -218,6 +218,33 @@ impl CostModel {
             + self.gpu_crypt(bytes)
             + self.kernel_launch
     }
+
+    /// TDR patience: how long the watchdog tolerates a busy engine after a
+    /// clean sync before escalating to a per-context kill. Derived from the
+    /// cost model (not a free constant) so the deadline scales with the
+    /// simulated platform: generously longer than any single legitimate
+    /// command the synchronous engine can retire.
+    pub fn tdr_patience(&self) -> Nanos {
+        (self.kernel_launch + self.ipc_roundtrip) * 8
+    }
+
+    /// TDR kill grace: how long the watchdog waits after ringing the KILL
+    /// doorbell for the context teardown (queue drop + scrub) to take
+    /// effect before concluding the context is wedged and escalating to a
+    /// full secure reset.
+    pub fn tdr_kill_grace(&self) -> Nanos {
+        self.ctx_switch * 2
+    }
+
+    /// Engine-wide cost of a full secure TDR reset: the device reset and
+    /// VRAM scrub, re-reading and re-hashing the 64 KiB expansion ROM
+    /// (BIOS re-measurement), re-verifying the routing path and MMIO
+    /// lockdown (priced like HIX task init), and rebuilding driver state.
+    /// While this runs the engine serves nobody, so in the multi-user
+    /// model it is the bounded price every peer pays per offense.
+    pub fn tdr_reset_penalty(&self) -> Nanos {
+        self.task_init_hix + self.pcie_transfer(64 << 10) + self.ctx_switch * 4
+    }
 }
 
 /// Builder for custom [`CostModel`]s (ablation studies).

@@ -76,6 +76,22 @@ pub struct FaultConfig {
     /// Per-round chance (sampled by the harness) of a mid-session GPU
     /// enclave restart.
     pub restart_pm: u32,
+    /// Per-engine-command chance the GPU wedges mid-execution: the
+    /// command never completes and the engine reports busy forever
+    /// until the context is killed (or the device reset).
+    pub gpu_hang_pm: u32,
+    /// Given a hang, per-hang chance the context also ignores the kill
+    /// doorbell — only a full device reset clears it.
+    pub gpu_wedge_pm: u32,
+    /// Per-engine-command chance the work completes but its completion
+    /// (fence bump) is lost — the engine looks busy with an empty queue.
+    pub gpu_lost_pm: u32,
+    /// Per-engine-command chance of a VRAM/ECC bit-flip in a live
+    /// buffer of the executing context; the engine raises an ECC error.
+    pub gpu_vram_flip_pm: u32,
+    /// Per-engine-command chance of a spurious engine-fault report: the
+    /// work actually completed but the device latches an error anyway.
+    pub gpu_spurious_pm: u32,
     /// Upper bound for sampled doorbell delays.
     pub max_delay: Nanos,
 }
@@ -93,6 +109,11 @@ impl FaultConfig {
             dma_flip_pm: 0,
             cfg_storm_pm: 0,
             restart_pm: 0,
+            gpu_hang_pm: 0,
+            gpu_wedge_pm: 0,
+            gpu_lost_pm: 0,
+            gpu_vram_flip_pm: 0,
+            gpu_spurious_pm: 0,
             max_delay: Nanos::from_micros(200),
         }
     }
@@ -108,8 +129,7 @@ impl FaultConfig {
             corrupt_pm: 10,
             dma_flip_pm: 10,
             cfg_storm_pm: 10,
-            restart_pm: 0,
-            max_delay: Nanos::from_micros(200),
+            ..FaultConfig::none()
         }
     }
 
@@ -124,12 +144,45 @@ impl FaultConfig {
             dma_flip_pm: 40,
             cfg_storm_pm: 30,
             restart_pm: 120,
-            max_delay: Nanos::from_micros(200),
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Light device-fault profile for the TDR soak: modest channel
+    /// noise plus occasional recoverable GPU faults (hangs that yield
+    /// to a context kill, lost completions, spurious errors).
+    pub fn gpu_light() -> Self {
+        FaultConfig {
+            gpu_hang_pm: 25,
+            gpu_wedge_pm: 0,
+            gpu_lost_pm: 20,
+            gpu_vram_flip_pm: 0,
+            gpu_spurious_pm: 20,
+            ..FaultConfig::light()
+        }
+    }
+
+    /// Heavy device-fault profile: frequent hangs, some of which wedge
+    /// the context and force a full secure device reset, plus live-VRAM
+    /// ECC flips. Channel noise rides along at the light rates so both
+    /// recovery layers are exercised together.
+    pub fn gpu_heavy() -> Self {
+        FaultConfig {
+            gpu_hang_pm: 60,
+            gpu_wedge_pm: 400,
+            gpu_lost_pm: 40,
+            gpu_vram_flip_pm: 25,
+            gpu_spurious_pm: 30,
+            ..FaultConfig::light()
         }
     }
 
     fn msg_total(&self) -> u32 {
         self.drop_pm + self.dup_pm + self.reorder_pm + self.delay_pm + self.corrupt_pm
+    }
+
+    fn gpu_total(&self) -> u32 {
+        self.gpu_hang_pm + self.gpu_lost_pm + self.gpu_vram_flip_pm + self.gpu_spurious_pm
     }
 }
 
@@ -169,6 +222,50 @@ impl MsgFault {
     }
 }
 
+/// A device-side fault chosen for one GPU engine command — the raw
+/// material for the TDR watchdog (hang detection, context kill, secure
+/// reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// The command never completes; the engine reports busy until the
+    /// context is killed. `wedged` contexts ignore the kill doorbell
+    /// too — only a full device reset clears them.
+    Hang {
+        /// The context ignores the kill doorbell.
+        wedged: bool,
+    },
+    /// The command completes but its fence bump is lost: the engine
+    /// looks busy with nothing left to run.
+    LostCompletion,
+    /// A bit-flip lands in a live buffer of the executing context and
+    /// the engine raises an ECC error.
+    VramFlip {
+        /// Offset into the context's resident footprint (caller
+        /// reduces modulo the actual byte count).
+        offset: u64,
+        /// Non-zero mask XORed into the byte.
+        xor: u8,
+    },
+    /// The command completes normally but the device latches a
+    /// spurious engine-fault error anyway.
+    Spurious,
+}
+
+impl DeviceFault {
+    /// Metric suffix for `fault.injected.<kind>` — GPU faults live
+    /// under the `gpu.` prefix so the channel and device ledgers stay
+    /// separable.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeviceFault::Hang { wedged: false } => "gpu.hang",
+            DeviceFault::Hang { wedged: true } => "gpu.wedge",
+            DeviceFault::LostCompletion => "gpu.lost_completion",
+            DeviceFault::VramFlip { .. } => "gpu.vram_flip",
+            DeviceFault::Spurious => "gpu.spurious",
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct DirState {
     /// Last frame put on the wire: (wire seq, sealed bytes). Reordering
@@ -203,11 +300,16 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// If the exclusive message-fault rates sum past 1000‰.
+    /// If the exclusive message-fault or GPU-fault rates sum past
+    /// 1000‰.
     pub fn new(seed: u64, config: FaultConfig) -> Self {
         assert!(
             config.msg_total() <= 1000,
             "message fault rates exceed 1000 permille"
+        );
+        assert!(
+            config.gpu_total() <= 1000,
+            "GPU fault rates exceed 1000 permille"
         );
         FaultPlan {
             inner: Rc::new(RefCell::new(PlanInner {
@@ -347,6 +449,40 @@ impl FaultPlan {
         let pm = inner.config.restart_pm;
         pm != 0 && inner.rng.gen_range(0..1000) < pm as u64
     }
+
+    /// Samples the device-side fault (if any) for one GPU engine
+    /// command. One exclusive draw picks at most one class; the wedge
+    /// sub-draw happens only when a hang fired, so all-zero GPU rates
+    /// draw nothing at all.
+    pub fn sample_gpu_fault(&self) -> Option<DeviceFault> {
+        let mut inner = self.inner.borrow_mut();
+        let cfg = inner.config;
+        if cfg.gpu_total() == 0 {
+            return None;
+        }
+        let r = inner.rng.gen_range(0..1000) as u32;
+        let mut edge = cfg.gpu_hang_pm;
+        if r < edge {
+            let wedged =
+                cfg.gpu_wedge_pm != 0 && inner.rng.gen_range(0..1000) < cfg.gpu_wedge_pm as u64;
+            return Some(DeviceFault::Hang { wedged });
+        }
+        edge += cfg.gpu_lost_pm;
+        if r < edge {
+            return Some(DeviceFault::LostCompletion);
+        }
+        edge += cfg.gpu_vram_flip_pm;
+        if r < edge {
+            let offset = inner.rng.u64();
+            let xor = (inner.rng.gen_range(0..255) + 1) as u8;
+            return Some(DeviceFault::VramFlip { offset, xor });
+        }
+        edge += cfg.gpu_spurious_pm;
+        if r < edge {
+            return Some(DeviceFault::Spurious);
+        }
+        None
+    }
 }
 
 /// Verdict of a [`ReplayWindow`] check.
@@ -449,6 +585,118 @@ impl Backoff {
     }
 }
 
+/// One step of the TDR escalation ladder, as directed by
+/// [`EscalationLadder::next`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogAction {
+    /// Advance virtual time by this much and re-poll the engine.
+    Wait(Nanos),
+    /// Ring the per-context kill doorbell, then keep polling through
+    /// the grace period.
+    Kill,
+    /// The context ignored the kill: perform a full secure device
+    /// reset.
+    Reset,
+}
+
+/// The watchdog's staged escalation policy as a pure state machine,
+/// property-testable in isolation: capped-exponential re-polls until
+/// the patience deadline, then a per-context kill, then a bounded
+/// grace period of re-polls, then a full device reset. Total virtual
+/// time spent waiting is bounded by the closed form
+/// [`max_recovery_wait`](EscalationLadder::max_recovery_wait).
+#[derive(Debug, Clone)]
+pub struct EscalationLadder {
+    backoff: Backoff,
+    cap: Nanos,
+    patience: Nanos,
+    waited: Nanos,
+    kill_grace: Nanos,
+    grace_left: u32,
+    grace_total: u32,
+    kill_sent: bool,
+    reset_sent: bool,
+}
+
+impl EscalationLadder {
+    /// A ladder that re-polls (backoff `base`→`cap`) until cumulative
+    /// waits reach `patience`, kills, grants `kill_checks` re-polls of
+    /// `kill_grace` each, then resets.
+    pub fn new(
+        patience: Nanos,
+        base: Nanos,
+        cap: Nanos,
+        kill_grace: Nanos,
+        kill_checks: u32,
+    ) -> Self {
+        let cap = cap.max(base);
+        EscalationLadder {
+            backoff: Backoff::new(base, cap),
+            cap,
+            patience,
+            waited: Nanos::ZERO,
+            kill_grace,
+            grace_left: kill_checks,
+            grace_total: kill_checks,
+            kill_sent: false,
+            reset_sent: false,
+        }
+    }
+
+    /// The next action while the engine still reports busy.
+    ///
+    /// # Panics
+    ///
+    /// If called again after directing a [`WatchdogAction::Reset`] —
+    /// a reset leaves the device provably idle, so a still-busy engine
+    /// after one is a simulator bug, never a recoverable state.
+    pub fn next(&mut self) -> WatchdogAction {
+        assert!(!self.reset_sent, "escalation ladder exhausted: reset already directed");
+        if !self.kill_sent {
+            if self.waited < self.patience {
+                let d = self.backoff.next_delay();
+                self.waited = self.waited + d;
+                return WatchdogAction::Wait(d);
+            }
+            self.kill_sent = true;
+            return WatchdogAction::Kill;
+        }
+        if self.grace_left > 0 {
+            self.grace_left -= 1;
+            self.waited = self.waited + self.kill_grace;
+            return WatchdogAction::Wait(self.kill_grace);
+        }
+        self.reset_sent = true;
+        WatchdogAction::Reset
+    }
+
+    /// Whether the kill rung has been directed.
+    pub fn kill_sent(&self) -> bool {
+        self.kill_sent
+    }
+
+    /// Whether the reset rung has been directed.
+    pub fn reset_sent(&self) -> bool {
+        self.reset_sent
+    }
+
+    /// Cumulative virtual time the ladder has directed waiting so far.
+    pub fn waited(&self) -> Nanos {
+        self.waited
+    }
+
+    /// Closed-form upper bound on the total virtual time this ladder
+    /// can ever direct waiting: the pre-kill phase stops at the first
+    /// delay that carries `waited` past `patience` (that delay is at
+    /// most `cap`), and the post-kill grace is exactly
+    /// `kill_checks · kill_grace`.
+    pub fn max_recovery_wait(&self) -> Nanos {
+        self.patience
+            + self.cap
+            + Nanos::from_nanos(self.kill_grace.as_nanos() * u64::from(self.grace_total))
+    }
+}
+
 /// Sorted-release buffer for out-of-order arrivals: items are held by
 /// sequence number and popped lowest-first; once a sequence has been
 /// released, it (and everything below it) is refused forever — the
@@ -521,12 +769,95 @@ mod tests {
             assert_eq!(plan.sample_dma_flip(4096), None);
             assert_eq!(plan.sample_cfg_storm(), None);
             assert!(!plan.sample_restart());
+            assert_eq!(plan.sample_gpu_fault(), None);
         }
         // The RNG was never touched: a fresh same-seed plan with real
         // rates produces its stream from the very first draw.
         let a = FaultPlan::new(1, FaultConfig::heavy());
         let b = FaultPlan::new(1, FaultConfig::heavy());
         assert_eq!(a.sample_message(), b.sample_message());
+    }
+
+    #[test]
+    fn channel_only_profiles_never_draw_gpu_faults() {
+        // light()/heavy() predate the device-fault layer; the GPU draw
+        // must stay a no-op under them so pre-TDR soak tapes replay
+        // bit-identically.
+        for cfg in [FaultConfig::light(), FaultConfig::heavy()] {
+            let plan = FaultPlan::new(9, cfg);
+            let twin = FaultPlan::new(9, cfg);
+            for _ in 0..16 {
+                assert_eq!(plan.sample_gpu_fault(), None);
+            }
+            // The twin never sampled GPU faults and their message
+            // streams still agree: the GPU path drew nothing.
+            for _ in 0..16 {
+                assert_eq!(plan.sample_message(), twin.sample_message());
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_heavy_plan_injects_every_device_class() {
+        let plan = FaultPlan::new(0x7D12_5eed, FaultConfig::gpu_heavy());
+        let mut kinds = std::collections::BTreeSet::new();
+        for _ in 0..6000 {
+            if let Some(f) = plan.sample_gpu_fault() {
+                if let DeviceFault::VramFlip { xor, .. } = f {
+                    assert_ne!(xor, 0, "a zero mask would be a silent no-op");
+                }
+                kinds.insert(f.kind());
+            }
+        }
+        for kind in [
+            "gpu.hang",
+            "gpu.wedge",
+            "gpu.lost_completion",
+            "gpu.vram_flip",
+            "gpu.spurious",
+        ] {
+            assert!(kinds.contains(kind), "never sampled {kind}");
+        }
+    }
+
+    #[test]
+    fn escalation_ladder_orders_and_bounds_recovery() {
+        let us = Nanos::from_micros;
+        let mut ladder = EscalationLadder::new(us(100), us(5), us(40), us(20), 3);
+        let bound = ladder.max_recovery_wait();
+        assert_eq!(bound, us(100) + us(40) + us(60));
+        let mut actions = Vec::new();
+        loop {
+            let a = ladder.next();
+            actions.push(a);
+            if a == WatchdogAction::Reset {
+                break;
+            }
+        }
+        // Strict phase ordering: Wait* , Kill , Wait*, Reset.
+        let kill_at = actions.iter().position(|a| *a == WatchdogAction::Kill).unwrap();
+        assert!(actions[..kill_at]
+            .iter()
+            .all(|a| matches!(a, WatchdogAction::Wait(_))));
+        assert_eq!(actions.last(), Some(&WatchdogAction::Reset));
+        assert!(actions[kill_at + 1..actions.len() - 1]
+            .iter()
+            .all(|a| *a == WatchdogAction::Wait(us(20))));
+        assert_eq!(actions.len() - kill_at - 2, 3, "exactly kill_checks grace polls");
+        // 5+10+20+40+40 = 115 ≥ patience, then 3×20 grace.
+        assert_eq!(ladder.waited(), us(115) + us(60));
+        assert!(ladder.waited() <= bound, "closed form must bound the actual tape");
+        assert!(ladder.kill_sent() && ladder.reset_sent());
+    }
+
+    #[test]
+    #[should_panic(expected = "escalation ladder exhausted")]
+    fn escalation_ladder_refuses_post_reset_polls() {
+        let us = Nanos::from_micros;
+        let mut ladder = EscalationLadder::new(us(0), us(1), us(1), us(1), 0);
+        assert_eq!(ladder.next(), WatchdogAction::Kill);
+        assert_eq!(ladder.next(), WatchdogAction::Reset);
+        let _ = ladder.next();
     }
 
     #[test]

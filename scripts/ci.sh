@@ -9,24 +9,15 @@ build_log=$(mktemp)
 trap 'rm -f "$build_log"' EXIT
 
 cargo build --release --offline 2>&1 | tee "$build_log"
-# The in-tree test/bench harness must stay warning-clean: it is part of
-# every crate's verify path and is counted in the Table-2 TCB breakdown.
-if grep -E 'hix-testkit.*generated [0-9]+ warning' "$build_log"; then
-    echo "error: cargo build emitted warnings in hix-testkit" >&2
-    exit 1
-fi
-# Same bar for the observability crate: it sits below every other crate
-# and is threaded through all hot paths.
-if grep -E 'hix-obs.*generated [0-9]+ warning' "$build_log"; then
-    echo "error: cargo build emitted warnings in hix-obs" >&2
-    exit 1
-fi
-# And for the simulation substrate, which now carries the fault-injection
-# layer exercised by every recovery test.
-if grep -E 'hix-sim.*generated [0-9]+ warning' "$build_log"; then
-    echo "error: cargo build emitted warnings in hix-sim" >&2
-    exit 1
-fi
+# Every workspace crate must stay warning-clean: the lower layers
+# (testkit, obs, sim) are part of every verify path and the Table-2 TCB
+# breakdown, and the rest sit inside the trust boundary.
+for crate in $(sed -n 's/^name = "\(hix-[a-z-]*\)"$/\1/p' crates/*/Cargo.toml); do
+    if grep -E "$crate.*generated [0-9]+ warning" "$build_log"; then
+        echo "error: cargo build emitted warnings in $crate" >&2
+        exit 1
+    fi
+done
 
 cargo test -q --offline
 
@@ -40,6 +31,13 @@ cargo run -q --release --offline -p hix-bench --bin trace_report target/trace-re
 # not byte-identical to the fault-free run, if a clean wire records any
 # recovery work, or if a same-seed faulted rerun is not deterministic.
 cargo run -q --release --offline -p hix-bench --bin fault_report
+
+# Watchdog smoke: 3 seeds x {none, gpu-light, gpu-heavy} device-fault
+# profiles plus the 4-user peer-interference matrix. Exits non-zero if
+# faulted GPU results diverge from the fault-free run, a peer stalls
+# past the quarantine bound, eviction fails to cap a repeat offender,
+# or a same-seed rerun is not deterministic.
+cargo run -q --release --offline -p hix-bench --bin tdr_report
 
 # Table 2 re-runs the attack-scenario suite and the per-crate TCB LoC
 # accounting (non-fatal here: the test suite above already gates it).

@@ -158,6 +158,121 @@ fn injected_faults_emit_fault_kind_events_and_recovery_reconciles() {
 }
 
 #[test]
+fn gpu_fault_ledger_tiles_injected_total_and_watchdog_spans_reconcile() {
+    // The device-fault ledger mirrors the channel one: every injected
+    // GPU fault bumps `fault.injected`, exactly one per-kind
+    // `fault.injected.gpu.*` counter, and emits exactly one
+    // `Fault`-kind event. Watchdog work is Security/span territory —
+    // one `watchdog/recover` span per recovery incident, one
+    // `watchdog/secure_reset` span per reset — and never leaks into
+    // the `Other` catch-all.
+    use hix_sim::fault::{FaultConfig, FaultPlan};
+    let mut m = standard_rig(RigOptions {
+        kernels: all_kernels(),
+        ..RigOptions::default()
+    });
+    m.trace().set_recording(true);
+    m.set_fault_plan(FaultPlan::new(0xFA17_6B0B, FaultConfig::gpu_heavy()));
+    let mut enclave = GpuEnclave::launch(
+        &mut m,
+        GpuEnclaveOptions {
+            // The repeat-offender policy has its own tests; here a
+            // wedge-heavy plan must not evict the instrumented session.
+            evict_after: u32::MAX,
+            ..GpuEnclaveOptions::default()
+        },
+    )
+    .unwrap();
+    // Several short-journal rounds: enough command draws to trip the
+    // watchdog at heavy rates while keeping each replay cheap.
+    for _ in 0..4 {
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        s.load_module(&mut m, &mut enclave, "matrix.mul").unwrap();
+        let n = 16u64;
+        let bytes = n * n * 4;
+        let a = s.malloc(&mut m, &mut enclave, bytes).unwrap();
+        let b = s.malloc(&mut m, &mut enclave, bytes).unwrap();
+        let c = s.malloc(&mut m, &mut enclave, bytes).unwrap();
+        let ones: Vec<u8> = (0..n * n).flat_map(|_| 1i32.to_le_bytes()).collect();
+        s.memcpy_htod(&mut m, &mut enclave, a, &Payload::from_bytes(ones.clone()))
+            .unwrap();
+        s.memcpy_htod(&mut m, &mut enclave, b, &Payload::from_bytes(ones))
+            .unwrap();
+        s.launch(&mut m, &mut enclave, "matrix.mul", &[a.value(), b.value(), c.value(), n])
+            .unwrap();
+        s.sync(&mut m, &mut enclave).unwrap();
+        let back = s.memcpy_dtoh(&mut m, &mut enclave, c, bytes).unwrap();
+        let expect: Vec<u8> = (0..n * n).flat_map(|_| (n as i32).to_le_bytes()).collect();
+        assert_eq!(back.bytes(), &expect[..], "recovery must preserve the result");
+        s.close(&mut m, &mut enclave).unwrap();
+    }
+
+    let mx = m.trace().metrics();
+    let injected = mx.counter("fault.injected");
+    let gpu_kinds = ["gpu.hang", "gpu.wedge", "gpu.lost_completion", "gpu.vram_flip", "gpu.spurious"];
+    let channel_kinds =
+        ["drop", "duplicate", "reorder", "delay", "corrupt", "dma_flip", "cfg_storm", "restart"];
+    let gpu_injected: u64 = gpu_kinds
+        .iter()
+        .map(|kind| mx.counter(&format!("fault.injected.{kind}")))
+        .sum();
+    let per_kind: u64 = channel_kinds
+        .iter()
+        .map(|kind| mx.counter(&format!("fault.injected.{kind}")))
+        .sum::<u64>()
+        + gpu_injected;
+    assert!(gpu_injected > 0, "the gpu-heavy plan must inject device faults");
+    assert_eq!(per_kind, injected, "the per-kind ledger must tile the total exactly");
+    // One Fault event per injection, plus one per *detected* real error
+    // (an injected bit-flip in a sealed staging buffer surfaces as a
+    // device-side integrity failure — a second, legitimate event for
+    // the same injection).
+    assert_eq!(
+        m.trace().count(EventKind::Fault),
+        injected + mx.counter("fault.detected"),
+        "Fault events must reconcile with the injected + detected ledgers"
+    );
+    assert_eq!(m.trace().count(EventKind::Other), 0, "no catch-all events");
+
+    let spans = m.trace().obs().spans();
+    let recover_spans = spans
+        .iter()
+        .filter(|s| s.category == "watchdog" && s.name == "recover")
+        .count() as u64;
+    let reset_spans = spans
+        .iter()
+        .filter(|s| s.category == "watchdog" && s.name == "secure_reset")
+        .count() as u64;
+    // `watchdog.recoveries` counts rebuild *rounds* (a mid-replay fault
+    // restarts the round inside one incident); the span wraps the whole
+    // incident, so it pairs with completed replays when every incident
+    // succeeds — which this test requires via the unwraps above.
+    assert_eq!(
+        recover_spans,
+        mx.counter("watchdog.replays_completed"),
+        "one watchdog span per successfully recovered incident"
+    );
+    assert!(
+        mx.counter("watchdog.recoveries") >= recover_spans,
+        "rebuild rounds can only exceed incidents, never undercount them"
+    );
+    assert_eq!(
+        reset_spans,
+        mx.counter("watchdog.resets"),
+        "one secure_reset span per full device reset"
+    );
+    assert!(
+        mx.counter("watchdog.hangs_detected") > 0,
+        "a gpu-heavy transfer+launch workload must trip the watchdog"
+    );
+    let snapshot = m.trace().obs().snapshot();
+    assert!(
+        snapshot.contains("watchdog.recovery_latency_ns"),
+        "the recovery-latency histogram must appear in the snapshot:\n{snapshot}"
+    );
+}
+
+#[test]
 fn span_accounting_reconciles_with_legacy_totals() {
     // The obs span accumulator IS the accounting source of truth: for
     // every category the legacy `Trace::total`/`count` answers and the
