@@ -1,0 +1,513 @@
+//! Scale report: the weighted-fair scheduler's trajectory from 4 to
+//! 10,000 tenants under seeded fault profiles. Sweeps users ∈ {4, 100,
+//! 1k, 10k} × profiles {none, light, heavy} through `run_scaled` with a
+//! bounded resident set (sealed-state parking), prints the markdown
+//! table behind the EXPERIMENTS.md scale section, and emits
+//! `BENCH_scale.json` — the repo's perf-trajectory file. Every cell is
+//! self-checked: same-seed reruns must be bit-identical (outcome and
+//! metrics snapshot), healthy tenants must finish within the fairness
+//! bound, degraded profiles must never starve a healthy tenant, and the
+//! makespan must stay sublinear in the tenant count.
+//!
+//! Usage:
+//!   scale_report [OUT.json]            full sweep (10k included)
+//!   scale_report --smoke [OUT.json]    4- and 100-user columns only
+//!   scale_report --check FILE.json     parse and validate a report
+
+use std::fmt::Write as _;
+
+use hix_core::multiuser::{
+    run_scaled, seeded_session_faults, FaultProfile, Mode, ScaleOutcome, SchedulerConfig,
+    SessionFaults, SessionSpec, TaskSpec,
+};
+use hix_obs::{fmt_ns, percentile_sorted, Metrics};
+use hix_sim::{CostModel, Nanos};
+
+/// One seed drives the whole sweep (per-cell populations are derived
+/// from it and the cell coordinates, so cells stay independent).
+const SEED: u64 = 7;
+/// Admission bound for the sweep: 1k and 10k columns must park.
+const MAX_RESIDENT: usize = 256;
+/// Healthy tenants must all finish within this completion-time ratio.
+const FAIR_BOUND: f64 = 2.0;
+/// Degraded-profile slack: a healthy tenant under heavy faults may pay
+/// at most this factor over the fault-free makespan of the same column.
+const DEGRADED_SLACK: f64 = 1.5;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scale_report: FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// The Figure 8/9 "bp-like" profile every tenant runs.
+fn task() -> TaskSpec {
+    TaskSpec {
+        name: "bp-like".into(),
+        htod: 117 << 20,
+        dtoh: 42 << 20,
+        kernel_time: Nanos::from_millis(22),
+        launches: 2,
+    }
+}
+
+struct Cell {
+    users: usize,
+    profile: FaultProfile,
+    outcome: ScaleOutcome,
+    faults: Vec<SessionFaults>,
+    /// Fairness over strictly healthy tenants (no fault burden at all):
+    /// max/min completion-time ratio.
+    fairness: f64,
+    healthy_wait_p99: u64,
+}
+
+fn healthy_indices(faults: &[SessionFaults]) -> Vec<usize> {
+    faults
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| **f == SessionFaults::default())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn run_cell(model: &CostModel, users: usize, profile: FaultProfile) -> Cell {
+    let faults = seeded_session_faults(SEED ^ (users as u64).rotate_left(17), users, profile);
+    let t = task();
+    let sessions: Vec<SessionSpec> = faults
+        .iter()
+        .map(|f| SessionSpec {
+            task: t.clone(),
+            weight: 1,
+            faults: *f,
+        })
+        .collect();
+    let mut cfg = SchedulerConfig::new(model);
+    cfg.max_resident = MAX_RESIDENT;
+
+    // Same-seed determinism: two fresh runs must agree bit-for-bit in
+    // outcome and in every recorded metric.
+    let m1 = Metrics::new();
+    let outcome = run_scaled(model, &sessions, Mode::Hix, &cfg, Some(&m1));
+    let m2 = Metrics::new();
+    let again = run_scaled(model, &sessions, Mode::Hix, &cfg, Some(&m2));
+    if outcome != again {
+        fail(&format!("{users}/{}: rerun diverged", profile.name()));
+    }
+    if m1.snapshot() != m2.snapshot() {
+        fail(&format!(
+            "{users}/{}: metrics snapshot not deterministic",
+            profile.name()
+        ));
+    }
+
+    let healthy = healthy_indices(&faults);
+    let fairness = {
+        let comps: Vec<u64> = healthy
+            .iter()
+            .map(|&i| outcome.completions[i].as_nanos())
+            .collect();
+        match (comps.iter().max(), comps.iter().min()) {
+            (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+            _ => 1.0,
+        }
+    };
+    let mut waits: Vec<u64> = healthy
+        .iter()
+        .map(|&i| outcome.gpu_wait[i].as_nanos())
+        .collect();
+    waits.sort_unstable();
+    let healthy_wait_p99 = percentile_sorted(&waits, 99).unwrap_or(0);
+    Cell {
+        users,
+        profile,
+        outcome,
+        faults,
+        fairness,
+        healthy_wait_p99,
+    }
+}
+
+fn check_cells(model: &CostModel, cells: &[Cell]) {
+    let single = run_scaled(
+        model,
+        &[SessionSpec::new(task())],
+        Mode::Hix,
+        &SchedulerConfig::new(model),
+        None,
+    )
+    .makespan;
+    for c in cells {
+        let tag = format!("{}/{}", c.users, c.profile.name());
+        // Fairness: every healthy tenant finishes within one round.
+        if c.fairness > FAIR_BOUND {
+            fail(&format!("{tag}: fairness ratio {:.3} > {FAIR_BOUND}", c.fairness));
+        }
+        // Sublinear trajectory: the per-user makespan must shrink as the
+        // population grows (host work overlaps; only the serialized GPU
+        // time scales), even with the parking churn of the bounded
+        // resident set. The smallest column anchors each profile.
+        let base = cells
+            .iter()
+            .filter(|b| b.profile == c.profile)
+            .min_by_key(|b| b.users)
+            .expect("cells nonempty");
+        if c.users > base.users
+            && c.outcome.makespan.as_nanos() * base.users as u64
+                >= base.outcome.makespan.as_nanos() * c.users as u64
+        {
+            fail(&format!(
+                "{tag}: per-user makespan {} not below the {}-user anchor {}",
+                fmt_ns(c.outcome.makespan.as_nanos() / c.users as u64),
+                base.users,
+                fmt_ns(base.outcome.makespan.as_nanos() / base.users as u64),
+            ));
+        }
+        // Absolute bound at scale: n tenants through one GPU must beat n
+        // serial single-tenant runs outright.
+        if c.users > MAX_RESIDENT
+            && c.outcome.makespan.as_nanos() >= single.as_nanos() * c.users as u64
+        {
+            fail(&format!(
+                "{tag}: makespan {} not sublinear vs {} x single {}",
+                c.outcome.makespan, c.users, single
+            ));
+        }
+        // Residency never exceeds the admission bound; oversubscribed
+        // columns must actually exercise parking.
+        if c.outcome.peak_resident > MAX_RESIDENT {
+            fail(&format!("{tag}: peak resident {}", c.outcome.peak_resident));
+        }
+        if c.users > MAX_RESIDENT && c.outcome.parks == 0 {
+            fail(&format!("{tag}: oversubscribed column never parked"));
+        }
+        // Evictions appear exactly where the population has repeat
+        // offenders.
+        let expected_evicted = c
+            .faults
+            .iter()
+            .filter(|f| f.tdr_resets >= hix_core::multiuser::EVICT_AFTER)
+            .count();
+        let got_evicted = c.outcome.evicted.iter().filter(|e| **e).count();
+        if expected_evicted != got_evicted {
+            fail(&format!(
+                "{tag}: {got_evicted} evicted, population has {expected_evicted} repeat offenders"
+            ));
+        }
+    }
+    // Degraded profiles never starve a healthy tenant: the slowest
+    // healthy completion under faults stays within slack of the
+    // fault-free makespan at the same scale.
+    for c in cells {
+        if c.profile == FaultProfile::None {
+            continue;
+        }
+        let baseline = cells
+            .iter()
+            .find(|b| b.users == c.users && b.profile == FaultProfile::None)
+            .expect("none column exists");
+        let worst_healthy = healthy_indices(&c.faults)
+            .iter()
+            .map(|&i| c.outcome.completions[i].as_nanos())
+            .max()
+            .unwrap_or(0) as f64;
+        let bound = baseline.outcome.makespan.as_nanos() as f64 * DEGRADED_SLACK;
+        if worst_healthy > bound {
+            fail(&format!(
+                "{}/{}: healthy tenant starved ({} > {:.0})",
+                c.users,
+                c.profile.name(),
+                worst_healthy,
+                bound
+            ));
+        }
+    }
+}
+
+// ---- JSON emit (stable key order) ----
+
+fn emit_json(model: &CostModel, cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"scale_report\",");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"quantum_ns\": {},", model.sched_quantum.as_nanos());
+    let _ = writeln!(s, "  \"max_resident\": {MAX_RESIDENT},");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let o = &c.outcome;
+        let _ = write!(
+            s,
+            "    {{\"users\": {}, \"profile\": \"{}\", \"makespan_ns\": {}, \"per_user_ns\": {}, \"fairness\": {:.4}, \"ctx_switches\": {}, \"parks\": {}, \"unparks\": {}, \"peak_resident\": {}, \"evicted\": {}, \"healthy_wait_p99_ns\": {}}}",
+            c.users,
+            c.profile.name(),
+            o.makespan.as_nanos(),
+            o.makespan.as_nanos() / c.users as u64,
+            c.fairness,
+            o.ctx_switches,
+            o.parks,
+            o.unparks,
+            o.peak_resident,
+            o.evicted.iter().filter(|e| **e).count(),
+            c.healthy_wait_p99,
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---- JSON check (minimal recursive-descent parser) ----
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            if self.b[self.i] == b'\\' {
+                return Err("escapes unsupported in report strings".into());
+            }
+            self.i += 1;
+        }
+        let s = String::from_utf8(self.b[start..self.i].to_vec())
+            .map_err(|_| "non-utf8 string".to_string())?;
+        self.eat(b'"')?;
+        Ok(s)
+    }
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("bad array at byte {}", self.i)),
+            }
+        }
+    }
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            out.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("bad object at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+/// Required keys of each cell, in emission order.
+const CELL_KEYS: [&str; 11] = [
+    "users",
+    "profile",
+    "makespan_ns",
+    "per_user_ns",
+    "fairness",
+    "ctx_switches",
+    "parks",
+    "unparks",
+    "peak_resident",
+    "evicted",
+    "healthy_wait_p99_ns",
+];
+
+fn check_file(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let json = match parse_json(&text) {
+        Ok(j) => j,
+        Err(e) => fail(&format!("{path}: not valid JSON: {e}")),
+    };
+    let Json::Obj(top) = json else {
+        fail(&format!("{path}: top level is not an object"));
+    };
+    let top_keys: Vec<&str> = top.iter().map(|(k, _)| k.as_str()).collect();
+    if top_keys != ["bench", "seed", "quantum_ns", "max_resident", "cells"] {
+        fail(&format!("{path}: unstable top-level keys {top_keys:?}"));
+    }
+    if top[0].1 != Json::Str("scale_report".into()) {
+        fail(&format!("{path}: wrong bench name"));
+    }
+    let Json::Arr(cells) = &top[4].1 else {
+        fail(&format!("{path}: cells is not an array"));
+    };
+    if cells.is_empty() {
+        fail(&format!("{path}: no cells"));
+    }
+    for (n, cell) in cells.iter().enumerate() {
+        let Json::Obj(fields) = cell else {
+            fail(&format!("{path}: cell {n} is not an object"));
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        if keys != CELL_KEYS {
+            fail(&format!("{path}: cell {n} has unstable keys {keys:?}"));
+        }
+        for (k, v) in fields {
+            match (k.as_str(), v) {
+                ("profile", Json::Str(p)) if FaultProfile::parse(p).is_some() => {}
+                ("profile", other) => fail(&format!("{path}: cell {n}: bad profile {other:?}")),
+                (_, Json::Num(x)) if *x >= 0.0 => {}
+                (k, _) => fail(&format!("{path}: cell {n}: key {k} is not a number")),
+            }
+        }
+    }
+    println!("scale_report: {path}: OK ({} cells, stable keys)", cells.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            fail("--check needs a file path");
+        };
+        check_file(path);
+        return;
+    }
+    let smoke = args.first().map(String::as_str) == Some("--smoke");
+    let out_path = args
+        .get(usize::from(smoke))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".into());
+
+    let model = CostModel::paper();
+    let sizes: &[usize] = if smoke { &[4, 100] } else { &[4, 100, 1_000, 10_000] };
+    let profiles = [FaultProfile::None, FaultProfile::Light, FaultProfile::Heavy];
+
+    let mut cells = Vec::new();
+    for &users in sizes {
+        for profile in profiles {
+            cells.push(run_cell(&model, users, profile));
+        }
+    }
+    check_cells(&model, &cells);
+
+    println!("# Scale sweep (bp-like tenants, max_resident = {MAX_RESIDENT}, seed {SEED})\n");
+    println!("| users | profile | makespan | per-user | fairness | ctx switches | parks | evicted | healthy wait p99 |");
+    println!("|------:|---------|---------:|---------:|---------:|-------------:|------:|--------:|-----------------:|");
+    for c in &cells {
+        let o = &c.outcome;
+        println!(
+            "| {} | {} | {} | {} | {:.3} | {} | {} | {} | {} |",
+            c.users,
+            c.profile.name(),
+            fmt_ns(o.makespan.as_nanos()),
+            fmt_ns(o.makespan.as_nanos() / c.users as u64),
+            c.fairness,
+            o.ctx_switches,
+            o.parks,
+            o.evicted.iter().filter(|e| **e).count(),
+            fmt_ns(c.healthy_wait_p99),
+        );
+    }
+
+    let json = emit_json(&model, &cells);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        fail(&format!("cannot write {out_path}: {e}"));
+    }
+    println!("\nscale_report: all self-checks passed; wrote {out_path}");
+}

@@ -141,6 +141,12 @@ pub struct GpuEnclaveOptions {
     /// rebuilds and new sessions are refused with
     /// [`HixCoreError::Evicted`]).
     pub evict_after: u32,
+    /// Admission bound: at most this many sessions hold live enclave
+    /// state (GPU context + staging VRAM) at once. When a newcomer needs
+    /// a slot, the least-recently-served resident is parked into sealed
+    /// state ([`GpuEnclave::park_session`]) and transparently unsealed
+    /// on its next request. Clamped to at least 1.
+    pub max_resident: usize,
 }
 
 impl Default for GpuEnclaveOptions {
@@ -151,6 +157,7 @@ impl Default for GpuEnclaveOptions {
             sealed_trust: None,
             seed: b"hix-gpu-enclave".to_vec(),
             evict_after: 3,
+            max_resident: usize::MAX,
         }
     }
 }
@@ -168,6 +175,25 @@ struct Session {
     /// [`Response::CtxReset`] until the user re-establishes via
     /// [`GpuEnclave::rebuild_session`].
     stale: bool,
+    /// LRU key (monotone use sequence) while resident.
+    last_use: u64,
+}
+
+/// A session sealed out of the resident set by the admission bound. The
+/// session *record* is sealed to the enclave's identity; the channel
+/// endpoint stays mapped (the shared ring is OS memory the enclave never
+/// trusted anyway) so the user's next doorbell can wake the session.
+struct ParkedSession {
+    /// OCB-sealed session record (tamper-evident; opened on resume).
+    blob: Vec<u8>,
+    /// Park sequence bound into the seal's key derivation, so every
+    /// park uses a fresh key and a stale or replayed blob cannot be
+    /// swapped in.
+    seq: u64,
+    endpoint: Endpoint,
+    /// Plaintext copy for admission policy; the sealed record is the
+    /// authoritative value and is cross-checked at unpark.
+    user_pid: ProcessId,
 }
 
 /// How an engine operation (submit + watched sync) ended, before it is
@@ -201,6 +227,14 @@ pub struct GpuEnclave {
     /// Users permanently evicted by the repeat-offender policy.
     evicted: BTreeSet<ProcessId>,
     evict_after: u32,
+    /// Sessions sealed out of the resident set, by id.
+    parked: BTreeMap<SessionId, ParkedSession>,
+    /// Resident sessions ordered by last service (LRU eviction order):
+    /// use-sequence → session id.
+    lru: BTreeMap<u64, SessionId>,
+    use_seq: u64,
+    park_seq: u64,
+    max_resident: usize,
 }
 
 impl std::fmt::Debug for GpuEnclave {
@@ -345,6 +379,11 @@ impl GpuEnclave {
             reset_offenses: BTreeMap::new(),
             evicted: BTreeSet::new(),
             evict_after: options.evict_after.max(1),
+            parked: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            use_seq: 0,
+            park_seq: 0,
+            max_resident: options.max_resident.max(1),
         })
     }
 
@@ -411,6 +450,9 @@ impl GpuEnclave {
         // Aborted sessions hold a GPU context and staging VRAM until
         // someone notices; admission is the natural point to reclaim.
         self.reap_aborted(machine);
+        // Admission control: make room inside the resident bound by
+        // parking the coldest session before spending any setup work.
+        self.ensure_resident_slot(machine)?;
         let init = machine.model().task_init(ExecMode::Hix);
         machine.clock().advance(init);
         machine.trace().metrics().inc("enclave.sessions_accepted");
@@ -442,8 +484,10 @@ impl GpuEnclave {
                 user_pid,
                 aborted: false,
                 stale: false,
+                last_use: 0,
             },
         );
+        self.touch(id);
         Ok((id, channel_key, keys.user))
     }
 
@@ -502,6 +546,7 @@ impl GpuEnclave {
         state.staging_len = staging_len;
         state.stale = false;
         state.endpoint.rekey(channel_key);
+        self.touch(session);
         machine.trace().metrics().inc("watchdog.sessions_rebuilt");
         machine.trace().emit(
             machine.clock().now(),
@@ -562,7 +607,7 @@ impl GpuEnclave {
             .map(|(id, _)| *id)
             .collect();
         for id in dead {
-            let s = self.sessions.remove(&id).expect("listed above");
+            let s = self.remove_session(id).expect("listed above");
             // Scrub on free: the staging buffer saw sealed chunks only,
             // but the context's other allocations may hold plaintext.
             // A stale session's context already died (and was scrubbed)
@@ -575,6 +620,201 @@ impl GpuEnclave {
         }
     }
 
+    /// Refreshes a session's position in the LRU order (no-op for
+    /// unknown ids).
+    fn touch(&mut self, session: SessionId) {
+        let Some(old) = self.sessions.get(&session).map(|s| s.last_use) else {
+            return;
+        };
+        self.use_seq += 1;
+        let seq = self.use_seq;
+        self.lru.remove(&old);
+        self.lru.insert(seq, session);
+        self.sessions.get_mut(&session).expect("checked above").last_use = seq;
+    }
+
+    /// Removes a session and its LRU entry together (the only sanctioned
+    /// way to drop a resident session).
+    fn remove_session(&mut self, session: SessionId) -> Option<Session> {
+        let s = self.sessions.remove(&session)?;
+        self.lru.remove(&s.last_use);
+        Some(s)
+    }
+
+    /// Parks least-recently-served residents until a new session fits
+    /// inside the admission bound.
+    fn ensure_resident_slot(&mut self, machine: &mut Machine) -> Result<(), HixCoreError> {
+        self.reap_aborted(machine);
+        while self.sessions.len() >= self.max_resident {
+            let Some(victim) = self.lru.values().next().copied() else {
+                return Err(HixCoreError::Protocol(
+                    "resident bound hit with no parkable session".into(),
+                ));
+            };
+            self.park_session(machine, victim)?;
+        }
+        Ok(())
+    }
+
+    /// The per-park seal cipher: a fresh key per (session, park
+    /// sequence), derived from the enclave's SGX seal key, so an old
+    /// blob can never be replayed into a later park slot.
+    fn park_cipher(
+        &self,
+        machine: &mut Machine,
+        session: SessionId,
+        seq: u64,
+    ) -> Result<hix_crypto::ocb::Ocb, HixCoreError> {
+        let key = machine.eseal_key(self.pid)?;
+        let mut context = b"parked-session".to_vec();
+        context.extend_from_slice(&session.to_le_bytes());
+        context.extend_from_slice(&seq.to_le_bytes());
+        Ok(hix_crypto::ocb::Ocb::new(&hix_crypto::ocb::Key::from_bytes(
+            hix_crypto::kdf::derive_aes128(b"hix-seal", &key, &context),
+        )))
+    }
+
+    /// Seals an idle session out of the resident set (the scale-out half
+    /// of §4.5): its GPU context and staging VRAM are destroyed
+    /// (scrub-on-free — nothing secret survives on the device) and its
+    /// session record is sealed to the enclave's identity, charged at
+    /// [`CostModel::park_seal`](hix_sim::CostModel::park_seal). The
+    /// channel endpoint stays mapped, so the user's next doorbell
+    /// transparently resumes via [`GpuEnclave::unpark_session`] and the
+    /// ordinary CtxReset path: journal replay under fresh keys, never
+    /// resumed device state.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sessions are a protocol error; aborted sessions cannot be
+    /// parked (they are reaped instead).
+    pub fn park_session(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+    ) -> Result<(), HixCoreError> {
+        let Some(state) = self.sessions.get(&session) else {
+            return Err(HixCoreError::Protocol(format!("unknown session {session}")));
+        };
+        if state.aborted {
+            return Err(HixCoreError::IntegrityFailure);
+        }
+        let (user_pid, staging_len, stale) = (state.user_pid, state.staging_len, state.stale);
+        let cost = machine.model().park_seal();
+        machine.clock().advance(cost);
+
+        self.park_seq += 1;
+        let seq = self.park_seq;
+        let mut record = Vec::with_capacity(13);
+        record.extend_from_slice(&user_pid.0.to_le_bytes());
+        record.extend_from_slice(&staging_len.to_le_bytes());
+        record.push(u8::from(stale));
+        let blob = self.park_cipher(machine, session, seq)?.seal(
+            &hix_crypto::ocb::Nonce::from_counter(0),
+            b"hix-park",
+            &record,
+        );
+
+        let state = self.remove_session(session).expect("checked above");
+        if !state.stale {
+            let _ = self.driver.free(machine, state.ctx, state.staging, true);
+            let _ = self.driver.destroy_ctx(machine, state.ctx);
+        }
+        self.parked.insert(
+            session,
+            ParkedSession {
+                blob,
+                seq,
+                endpoint: state.endpoint,
+                user_pid,
+            },
+        );
+        machine.trace().metrics().inc("enclave.sessions_parked");
+        machine.trace().emit(
+            machine.clock().now(),
+            cost,
+            EventKind::EnclaveCrypto,
+            format!("session {session} parked: state sealed, context scrubbed"),
+        );
+        Ok(())
+    }
+
+    /// Unseals a parked session back into the resident set, charged at
+    /// [`CostModel::park_unseal`](hix_sim::CostModel::park_unseal). The
+    /// record must authenticate under the key its park derived; the
+    /// session re-enters stale (its context died at park), so the next
+    /// request is answered with `CtxReset` and recovery rebuilds it with
+    /// fresh keys and a journal replay.
+    ///
+    /// # Errors
+    ///
+    /// [`HixCoreError::Evicted`] for users evicted while parked (a
+    /// parked session is no escape hatch from the repeat-offender
+    /// policy); authentication failures on a tampered blob discard the
+    /// session.
+    pub fn unpark_session(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+    ) -> Result<(), HixCoreError> {
+        let Some(p) = self.parked.get(&session) else {
+            return Err(HixCoreError::Protocol(format!(
+                "session {session} is not parked"
+            )));
+        };
+        if self.evicted.contains(&p.user_pid) {
+            machine.trace().metrics().inc("watchdog.rebuilds_refused");
+            return Err(HixCoreError::Evicted);
+        }
+        // Unparking may itself need a slot: the coldest resident yields.
+        self.ensure_resident_slot(machine)?;
+        let cost = machine.model().park_unseal();
+        machine.clock().advance(cost);
+
+        let p = self.parked.remove(&session).expect("checked above");
+        let record = self
+            .park_cipher(machine, session, p.seq)?
+            .open(&hix_crypto::ocb::Nonce::from_counter(0), b"hix-park", &p.blob)
+            .map_err(|_| {
+                HixCoreError::Protocol("parked session record failed authentication".into())
+            })?;
+        if record.len() != 13 {
+            return Err(HixCoreError::Protocol("malformed parked session record".into()));
+        }
+        let user_pid = ProcessId(u32::from_le_bytes(record[..4].try_into().expect("4 bytes")));
+        let staging_len = u64::from_le_bytes(record[4..12].try_into().expect("8 bytes"));
+        if user_pid != p.user_pid {
+            return Err(HixCoreError::Protocol(
+                "parked session record names a different user".into(),
+            ));
+        }
+        self.sessions.insert(
+            session,
+            Session {
+                // The context died at park; the tombstone is never
+                // dereferenced because the session is stale until
+                // rebuilt.
+                ctx: CtxId(u32::MAX),
+                endpoint: p.endpoint,
+                staging: DevAddr(0),
+                staging_len,
+                user_pid,
+                aborted: false,
+                stale: true,
+                last_use: 0,
+            },
+        );
+        self.touch(session);
+        machine.trace().metrics().inc("enclave.sessions_unparked");
+        machine.trace().emit(
+            machine.clock().now(),
+            cost,
+            EventKind::EnclaveCrypto,
+            format!("session {session} unparked: record verified, awaiting re-establishment"),
+        );
+        Ok(())
+    }
+
     /// Serves one pending request on `session` (the message-queue wakeup
     /// of §4.4.1). Returns `Ok(true)` if a request was served.
     ///
@@ -583,6 +823,15 @@ impl GpuEnclave {
     /// Channel tampering aborts with an error; GPU integrity failures
     /// abort the session.
     pub fn poll(&mut self, machine: &mut Machine, session: SessionId) -> Result<bool, HixCoreError> {
+        if !self.sessions.contains_key(&session) && self.parked.contains_key(&session) {
+            // Transparent resume: the first doorbell at a parked session
+            // unseals its record back into the resident set; it then
+            // answers [`Response::CtxReset`] until the user
+            // re-establishes (journal replay under fresh keys — parking
+            // never resumes device state).
+            self.unpark_session(machine, session)?;
+        }
+        self.touch(session);
         let Some(state) = self.sessions.get_mut(&session) else {
             return Err(HixCoreError::Protocol(format!("unknown session {session}")));
         };
@@ -630,7 +879,7 @@ impl GpuEnclave {
             let state = self.sessions.get_mut(&session).expect("session exists");
             state.endpoint.send_response(machine, &response.encode())?;
             if closing {
-                self.sessions.remove(&session);
+                self.remove_session(session);
             }
             return Ok(true);
         }
@@ -639,7 +888,7 @@ impl GpuEnclave {
         let state = self.sessions.get_mut(&session).expect("session exists");
         state.endpoint.send_response(machine, &response.encode())?;
         if closing && ok {
-            self.sessions.remove(&session);
+            self.remove_session(session);
         }
         Ok(true)
     }
@@ -1089,6 +1338,13 @@ impl GpuEnclave {
             let _ = state.endpoint.post_termination_notice(machine);
             let _ = self.driver.destroy_ctx(machine, state.ctx);
         }
+        // Parked users hold no device state, but they still deserve the
+        // §4.2.3 notice: the GPU they would resume onto is gone.
+        let parked: Vec<SessionId> = self.parked.keys().copied().collect();
+        for id in parked {
+            let p = self.parked.remove(&id).expect("listed");
+            let _ = p.endpoint.post_termination_notice(machine);
+        }
         machine.fabric_mut().reset_device(self.bdf);
         machine.hix_release(self.pid)?;
         machine.eexit(self.pid);
@@ -1167,6 +1423,21 @@ impl GpuEnclave {
     /// policy.
     pub fn is_evicted(&self, user: ProcessId) -> bool {
         self.evicted.contains(&user)
+    }
+
+    /// Number of sessions currently sealed in parking.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether a session is currently sealed in parking.
+    pub fn is_parked(&self, session: SessionId) -> bool {
+        self.parked.contains_key(&session)
+    }
+
+    /// The admission bound on simultaneously resident sessions.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
     }
 }
 

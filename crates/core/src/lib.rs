@@ -18,7 +18,8 @@
 //!   pipelined, §4.4.2), `hixLaunchKernel`, `hixSync` — same shape as the
 //!   CUDA driver API, as the paper promises.
 //! * [`multiuser`] — the multi-context scheduler model behind Figures 8
-//!   and 9.
+//!   and 9, scaled to 10,000 tenants by the weighted-fair queue in
+//!   [`sched`] plus admission control and sealed-state parking.
 //!
 //! ```no_run
 //! use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
@@ -43,6 +44,7 @@ pub mod gpu_enclave;
 pub mod multiuser;
 pub mod protocol;
 pub mod runtime;
+pub mod sched;
 
 pub use gpu_enclave::{GpuEnclave, GpuEnclaveOptions, HixCoreError};
 pub use runtime::HixSession;

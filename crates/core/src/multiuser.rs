@@ -1,4 +1,4 @@
-//! Multi-user execution model (§4.5, Figures 8 and 9).
+//! Multi-user execution model (§4.5, Figures 8 and 9) — scaled.
 //!
 //! The paper runs the same benchmark from several user processes at once:
 //!
@@ -14,9 +14,28 @@
 //! serialized GPU timeline. It uses the same [`CostModel`] as the
 //! machine-level simulation; the machine itself is not driven here
 //! because overlapping users require parallel timelines (see DESIGN.md).
+//!
+//! Beyond the figure harness, [`run_scaled`] is the 10,000-tenant
+//! engine (ROADMAP item 1): an `O(log n)`-per-decision weighted-fair
+//! scheduler ([`crate::sched::FairQueue`]) over arena-backed session
+//! slots, admission control with a bounded resident set, and LRU
+//! parking of idle sessions into sealed state (costed by
+//! [`CostModel::park_seal`]/[`CostModel::park_unseal`], matching the
+//! enclave's `park_session`/`unpark_session` path) with transparent
+//! unseal-on-resume. Per-tenant QoS — service, wait, parks — flows into
+//! a [`hix_obs::Metrics`] registry when one is supplied. The legacy
+//! entry points ([`run_multiuser`], [`run_multiuser_degraded`]) are
+//! thin wrappers over the same engine, so Figures 8/9 and the scale
+//! sweep share one scheduler.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use hix_obs::{Metrics, LATENCY_BOUNDS_NS};
 use hix_sim::cost::ExecMode;
 use hix_sim::{CostModel, Nanos};
+
+use crate::sched::FairQueue;
 
 /// A user task, summarized by its transfer/compute profile (the figure
 /// harness fills these from the Rodinia workload descriptors).
@@ -78,6 +97,22 @@ fn hix_segments(model: &CostModel, spec: &TaskSpec, user: u32) -> Vec<Segment> {
             user,
         ),
     ]
+}
+
+/// Slices a GPU segment into engine quanta, never emitting a
+/// zero-length slice: a zero-duration segment (a zero-byte transfer's
+/// `pcie_transfer(0)`) contributes nothing, and a duration that is an
+/// exact multiple of the quantum yields exactly `d / quantum` slices —
+/// no degenerate trailing sliver that would occupy a scheduling turn
+/// and charge context switches for zero work.
+fn push_gpu_sliced(out: &mut Vec<Segment>, mut d: Nanos, ctx: u32, quantum: Nanos) {
+    while d > quantum {
+        out.push(Segment::Gpu(quantum, ctx));
+        d = d.saturating_sub(quantum);
+    }
+    if d > Nanos::ZERO {
+        out.push(Segment::Gpu(d, ctx));
+    }
 }
 
 /// Which software stack the users run on.
@@ -159,6 +194,9 @@ pub fn run_multiuser_mixed(
 /// fault burden. Degradation is strictly per-session: one user's
 /// recovery stalls (or death) must never inflate another user's
 /// completion beyond ordinary GPU queueing.
+///
+/// This is the legacy Figure 8/9 entry point: equal weights, an
+/// unbounded resident set, no metrics. It delegates to [`run_scaled`].
 pub fn run_multiuser_degraded(
     model: &CostModel,
     specs: &[TaskSpec],
@@ -166,137 +204,367 @@ pub fn run_multiuser_degraded(
     faults: &[SessionFaults],
 ) -> MultiUserOutcome {
     assert_eq!(specs.len(), faults.len(), "one fault burden per user");
-    struct UserState {
-        segments: Vec<Segment>,
-        next: usize,
-        time: Nanos,
-        evicted: bool,
+    let sessions: Vec<SessionSpec> = specs
+        .iter()
+        .zip(faults)
+        .map(|(spec, f)| SessionSpec {
+            task: spec.clone(),
+            weight: 1,
+            faults: *f,
+        })
+        .collect();
+    let out = run_scaled(model, &sessions, mode, &SchedulerConfig::new(model), None);
+    MultiUserOutcome {
+        makespan: out.makespan,
+        completions: out.completions,
+        ctx_switches: out.ctx_switches,
+        evicted: out.evicted,
     }
-    // Engine time-slice: concurrent clients interleave at this quantum,
-    // which is what turns per-user contexts into context-switch traffic.
-    let quantum = Nanos::from_millis(5);
-    let mut states: Vec<UserState> = specs
+}
+
+/// One tenant of the scaled scheduler: a task, a fair-share weight, and
+/// a fault burden.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// The tenant's workload.
+    pub task: TaskSpec,
+    /// Fair-share weight: a weight-2 tenant receives twice the GPU
+    /// service rate of a weight-1 peer while both are backlogged.
+    pub weight: u32,
+    /// Fault burden (see [`SessionFaults`]).
+    pub faults: SessionFaults,
+}
+
+impl SessionSpec {
+    /// A weight-1, fault-free session around `task`.
+    pub fn new(task: TaskSpec) -> Self {
+        SessionSpec {
+            task,
+            weight: 1,
+            faults: SessionFaults::default(),
+        }
+    }
+}
+
+/// Scheduler knobs for [`run_scaled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Engine time-slice: concurrent clients interleave at this quantum,
+    /// which is what turns per-user contexts into context-switch traffic
+    /// (Figures 8/9 use 5 ms).
+    pub quantum: Nanos,
+    /// Admission bound: at most this many sessions hold live GPU-enclave
+    /// state (context + staging) at once. When a newcomer needs a slot,
+    /// the least-recently-served resident is parked into sealed state
+    /// (costing [`CostModel::park_seal`]) and transparently unsealed on
+    /// its next turn ([`CostModel::park_unseal`]).
+    pub max_resident: usize,
+}
+
+impl SchedulerConfig {
+    /// The model's defaults: its `sched_quantum` and an unbounded
+    /// resident set (no parking).
+    pub fn new(model: &CostModel) -> Self {
+        SchedulerConfig {
+            quantum: model.sched_quantum,
+            max_resident: usize::MAX,
+        }
+    }
+}
+
+/// Result of a [`run_scaled`] run: the legacy outcome plus per-tenant
+/// QoS and parking telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleOutcome {
+    /// Wall-clock makespan (last tenant's completion).
+    pub makespan: Nanos,
+    /// Per-tenant completion times.
+    pub completions: Vec<Nanos>,
+    /// Number of GPU context switches incurred.
+    pub ctx_switches: u64,
+    /// Per-tenant eviction flags (repeat-offender cap).
+    pub evicted: Vec<bool>,
+    /// Per-tenant GPU service actually delivered (slice durations; the
+    /// engine-blocked windows a hang steals are charged to the hanging
+    /// tenant here, which is what makes its fair share absorb them).
+    pub service: Vec<Nanos>,
+    /// Per-tenant cumulative queueing delay: time between a submission
+    /// becoming ready and the engine starting it (includes context
+    /// switches and park/unseal overheads the tenant had to wait out).
+    pub gpu_wait: Vec<Nanos>,
+    /// Sessions sealed into parking by the admission bound.
+    pub parks: u64,
+    /// Sealed sessions transparently unsealed on resume.
+    pub unparks: u64,
+    /// High-water mark of simultaneously resident sessions.
+    pub peak_resident: usize,
+}
+
+impl ScaleOutcome {
+    /// Max/min completion-time ratio over healthy (non-evicted)
+    /// tenants — the scale sweep's fairness figure. Under a fair
+    /// scheduler with equal demands every tenant finishes within about
+    /// one round of the last, so the ratio stays near 1; a FIFO
+    /// run-to-completion engine would score ≈ n. Returns 1.0 when fewer
+    /// than two healthy tenants exist.
+    pub fn fairness_ratio(&self) -> f64 {
+        let healthy: Vec<u64> = self
+            .completions
+            .iter()
+            .zip(&self.evicted)
+            .filter(|(_, e)| !**e)
+            .map(|(c, _)| c.as_nanos())
+            .collect();
+        if healthy.len() < 2 {
+            return 1.0;
+        }
+        let max = *healthy.iter().max().unwrap() as f64;
+        let min = *healthy.iter().min().unwrap().max(&1) as f64;
+        max / min
+    }
+}
+
+/// Per-session slot in the scheduler arena. Dense, index-addressed —
+/// the engine never scans sessions; every decision is the fair queue's
+/// `O(log n)` pick plus `O(log n)` LRU maintenance.
+struct Slot {
+    segments: Vec<Segment>,
+    next: usize,
+    time: Nanos,
+    evicted: bool,
+    /// Holds live enclave state (context + staging) right now.
+    resident: bool,
+    /// Was sealed out of the resident set; pays the unseal on resume.
+    parked: bool,
+    /// Key into the LRU map while resident.
+    lru: u64,
+    service: Nanos,
+    wait: Nanos,
+}
+
+/// Builds one session's segment list: mode segments, recovery stalls,
+/// quantum slicing (never a zero-length slice), abort truncation, and
+/// watchdog-offense insertion. Returns the segments and whether the
+/// session ends evicted.
+fn build_segments(
+    model: &CostModel,
+    spec: &TaskSpec,
+    f: &SessionFaults,
+    user: u32,
+    mode: Mode,
+    quantum: Nanos,
+) -> (Vec<Segment>, bool) {
+    let mut raw = match mode {
+        Mode::Gdev => gdev_segments(model, spec, user),
+        Mode::Hix => hix_segments(model, spec, user),
+    };
+    if f.recovery > Nanos::ZERO {
+        // Recovery is host-side work (the user spinning on its
+        // channel): it delays this user's GPU submissions but
+        // holds no GPU resource.
+        raw.insert(1, Segment::Host(f.recovery));
+    }
+    let mut segments = Vec::new();
+    let mut gpu_done = Nanos::ZERO;
+    let mut dead = false;
+    for seg in raw {
+        if dead {
+            break;
+        }
+        match seg {
+            Segment::Host(_) => segments.push(seg),
+            Segment::Gpu(d, ctx) => {
+                let before = segments.len();
+                push_gpu_sliced(&mut segments, d, ctx, quantum);
+                for slice in before..segments.len() {
+                    let Segment::Gpu(s, _) = segments[slice] else {
+                        unreachable!("push_gpu_sliced emits GPU slices only")
+                    };
+                    gpu_done += s;
+                    if f.abort_after.is_some_and(|limit| gpu_done > limit) {
+                        segments.truncate(slice + 1);
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Watchdog offenses. Each hang blocks the engine in the
+    // offender's context — peers queue behind the blocked window
+    // exactly as they queue behind legitimate work — and then
+    // parks the offender host-side for a session rebuild before
+    // it may resubmit (the quarantine). Offenses are spread
+    // evenly through the session's GPU work. The peers' own
+    // re-establishment after a full reset overlaps the blocked
+    // window (they rebuild host-side while the engine scrubs),
+    // so the engine blockage is the whole peer-visible price.
+    let kill_block = model.tdr_patience();
+    let reset_block =
+        model.tdr_patience() + model.tdr_kill_grace() * 3 + model.tdr_reset_penalty();
+    let rebuild = model.task_init(ExecMode::Hix) + model.ipc_roundtrip * 4;
+    let resets = f.tdr_resets.min(EVICT_AFTER);
+    let evicted = f.tdr_resets >= EVICT_AFTER;
+    let gpu_positions: Vec<usize> = segments
         .iter()
         .enumerate()
-        .map(|(u, spec)| {
-            let raw = match mode {
-                Mode::Gdev => gdev_segments(model, spec, u as u32),
-                Mode::Hix => hix_segments(model, spec, u as u32),
-            };
-            let f = faults[u];
-            let mut raw = raw;
-            if f.recovery > Nanos::ZERO {
-                // Recovery is host-side work (the user spinning on its
-                // channel): it delays this user's GPU submissions but
-                // holds no GPU resource.
-                raw.insert(1, Segment::Host(f.recovery));
+        .filter(|(_, s)| matches!(s, Segment::Gpu(..)))
+        .map(|(i, _)| i)
+        .collect();
+    let n_gpu = gpu_positions.len();
+    let total = (f.tdr_kills + resets) as usize;
+    if n_gpu > 0 && total > 0 {
+        let mut events = Vec::new();
+        events.extend((0..f.tdr_kills).map(|_| kill_block));
+        events.extend((0..resets).map(|_| reset_block));
+        if evicted {
+            // The capping reset is this session's last act: the
+            // watchdog evicts it, so nothing after that point —
+            // not even the rebuild — ever runs.
+            let last = gpu_positions[(total * n_gpu / (total + 1)).min(n_gpu - 1)];
+            segments.truncate(last + 1);
+        }
+        // Insert back-to-front so earlier slots stay valid.
+        for (k, block) in events.iter().enumerate().rev() {
+            let slot = gpu_positions[((k + 1) * n_gpu / (total + 1)).min(n_gpu - 1)];
+            if k + 1 == total && evicted {
+                segments.push(Segment::Gpu(*block, user));
+                continue;
             }
-            let mut segments = Vec::new();
-            let mut gpu_done = Nanos::ZERO;
-            let mut dead = false;
-            for seg in raw {
-                if dead {
-                    break;
-                }
-                match seg {
-                    Segment::Host(_) => segments.push(seg),
-                    Segment::Gpu(mut d, ctx) => {
-                        while d > quantum {
-                            segments.push(Segment::Gpu(quantum, ctx));
-                            d -= quantum;
-                            gpu_done += quantum;
-                            if f.abort_after.is_some_and(|limit| gpu_done > limit) {
-                                dead = true;
-                            }
-                            if dead {
-                                break;
-                            }
-                        }
-                        if !dead {
-                            segments.push(Segment::Gpu(d, ctx));
-                            gpu_done += d;
-                            if f.abort_after.is_some_and(|limit| gpu_done > limit) {
-                                dead = true;
-                            }
-                        }
-                    }
-                }
-            }
-            // Watchdog offenses. Each hang blocks the engine in the
-            // offender's context — peers queue behind the blocked window
-            // exactly as they queue behind legitimate work — and then
-            // parks the offender host-side for a session rebuild before
-            // it may resubmit (the quarantine). Offenses are spread
-            // evenly through the session's GPU work. The peers' own
-            // re-establishment after a full reset overlaps the blocked
-            // window (they rebuild host-side while the engine scrubs),
-            // so the engine blockage is the whole peer-visible price.
-            let kill_block = model.tdr_patience();
-            let reset_block =
-                model.tdr_patience() + model.tdr_kill_grace() * 3 + model.tdr_reset_penalty();
-            let rebuild = model.task_init(ExecMode::Hix) + model.ipc_roundtrip * 4;
-            let resets = f.tdr_resets.min(EVICT_AFTER);
-            let evicted = f.tdr_resets >= EVICT_AFTER;
-            let gpu_positions: Vec<usize> = segments
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| matches!(s, Segment::Gpu(..)))
-                .map(|(i, _)| i)
-                .collect();
-            let n_gpu = gpu_positions.len();
-            let total = (f.tdr_kills + resets) as usize;
-            if n_gpu > 0 && total > 0 {
-                let mut events = Vec::new();
-                events.extend((0..f.tdr_kills).map(|_| kill_block));
-                events.extend((0..resets).map(|_| reset_block));
-                if evicted {
-                    // The capping reset is this session's last act: the
-                    // watchdog evicts it, so nothing after that point —
-                    // not even the rebuild — ever runs.
-                    let last = gpu_positions[(total * n_gpu / (total + 1)).min(n_gpu - 1)];
-                    segments.truncate(last + 1);
-                }
-                // Insert back-to-front so earlier slots stay valid.
-                for (k, block) in events.iter().enumerate().rev() {
-                    let slot = gpu_positions[((k + 1) * n_gpu / (total + 1)).min(n_gpu - 1)];
-                    if k + 1 == total && evicted {
-                        segments.push(Segment::Gpu(*block, u as u32));
-                        continue;
-                    }
-                    segments.insert(slot + 1, Segment::Host(rebuild));
-                    segments.insert(slot + 1, Segment::Gpu(*block, u as u32));
-                }
-            }
-            UserState {
+            segments.insert(slot + 1, Segment::Host(rebuild));
+            segments.insert(slot + 1, Segment::Gpu(*block, user));
+        }
+    }
+    (segments, evicted)
+}
+
+/// Runs a population of tenant sessions through the weighted-fair
+/// scheduler and returns per-tenant QoS (see module docs).
+///
+/// When `obs` is supplied, aggregate counters (`sched.slices`,
+/// `sched.parks`, `sched.unparks`, `sched.ctx_switches`,
+/// `sched.evictions`, `sched.service_ns`), the `sched.wait_ns`
+/// histogram, and the `sched.peak_resident` gauge are recorded; with at
+/// most [`PER_SESSION_METRICS_MAX`] tenants, per-session service and
+/// wait counters (`sched.s<i>.service_ns`/`.wait_ns`) are kept too
+/// (bounded cardinality — a 10k sweep must not mint 10k counter names).
+pub fn run_scaled(
+    model: &CostModel,
+    sessions: &[SessionSpec],
+    mode: Mode,
+    config: &SchedulerConfig,
+    obs: Option<&Metrics>,
+) -> ScaleOutcome {
+    assert!(config.max_resident >= 1, "at least one session must fit");
+    assert!(config.quantum > Nanos::ZERO, "a zero quantum never advances");
+
+    let mut queue = FairQueue::new();
+    let mut slots: Vec<Slot> = sessions
+        .iter()
+        .enumerate()
+        .map(|(u, sess)| {
+            let id = queue.insert(sess.weight);
+            debug_assert_eq!(id, u, "slot ids are insertion-ordered");
+            let (segments, evicted) =
+                build_segments(model, &sess.task, &sess.faults, u as u32, mode, config.quantum);
+            Slot {
                 segments,
                 next: 0,
                 time: Nanos::ZERO,
                 evicted,
+                resident: false,
+                parked: false,
+                lru: 0,
+                service: Nanos::ZERO,
+                wait: Nanos::ZERO,
             }
         })
         .collect();
 
+    // Arrival heap for sessions whose next submission lies beyond the
+    // engine's current horizon; the fair queue holds only sessions with
+    // work ready *now*, which is what makes the activation clamp and
+    // the LRU meaningful.
+    let mut future: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, st) in slots.iter_mut().enumerate() {
+        while let Some(Segment::Host(d)) = st.segments.get(st.next).copied() {
+            st.time += d;
+            st.next += 1;
+        }
+        if st.next < st.segments.len() {
+            future.push(Reverse((st.time.as_nanos(), i)));
+        }
+    }
+
+    // Resident set: LRU keyed by a monotone use sequence.
+    let mut lru: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut use_seq = 0u64;
+    let mut resident_count = 0usize;
+    let mut peak_resident = 0usize;
+    let mut parks = 0u64;
+    let mut unparks = 0u64;
+
     let mut gpu_free = Nanos::ZERO;
     let mut gpu_ctx: Option<u32> = None;
     let mut ctx_switches = 0u64;
+    let mut slices = 0u64;
 
     loop {
-        // Advance every user's host segments (they run in parallel).
-        for st in &mut states {
-            while let Some(Segment::Host(d)) = st.segments.get(st.next).copied() {
-                st.time += d;
-                st.next += 1;
+        // Everything that has arrived by the engine's horizon becomes
+        // eligible for fair service.
+        while let Some(&Reverse((t, i))) = future.peek() {
+            if Nanos::from_nanos(t) <= gpu_free {
+                future.pop();
+                queue.activate(i);
+            } else {
+                break;
             }
         }
-        // Pick the GPU-ready user that arrived first (FIFO submission).
-        let candidate = states
-            .iter()
-            .enumerate()
-            .filter(|(_, st)| st.next < st.segments.len())
-            .min_by_key(|(_, st)| st.time)
-            .map(|(i, _)| i);
-        let Some(i) = candidate else { break };
-        let st = &mut states[i];
+        let picked = if queue.active_len() > 0 {
+            queue.pick()
+        } else {
+            // Idle engine: jump to the next arrival (work-conserving).
+            let Some(Reverse((t, i))) = future.pop() else { break };
+            gpu_free = gpu_free.max(Nanos::from_nanos(t));
+            queue.activate(i);
+            continue;
+        };
+        let Some(i) = picked else { break };
+
+        // Admission control: the picked session must be resident before
+        // it can touch the engine; making room parks the coldest peer.
+        if !slots[i].resident {
+            if resident_count == config.max_resident {
+                let (_, victim) = lru.pop_first().expect("bound hit implies residents");
+                slots[victim].resident = false;
+                slots[victim].parked = true;
+                resident_count -= 1;
+                parks += 1;
+                // The enclave seals the victim's session record before
+                // the newcomer's work may start; the engine wears it.
+                gpu_free += model.park_seal();
+                if let Some(m) = obs {
+                    m.inc("sched.parks");
+                }
+            }
+            if slots[i].parked {
+                slots[i].parked = false;
+                unparks += 1;
+                gpu_free += model.park_unseal();
+                if let Some(m) = obs {
+                    m.inc("sched.unparks");
+                }
+            }
+            slots[i].resident = true;
+            resident_count += 1;
+            peak_resident = peak_resident.max(resident_count);
+        }
+        use_seq += 1;
+        lru.remove(&slots[i].lru);
+        slots[i].lru = use_seq;
+        lru.insert(use_seq, i);
+
+        let st = &mut slots[i];
         let Segment::Gpu(d, ctx) = st.segments[st.next] else {
             unreachable!("host segments were drained")
         };
@@ -306,19 +574,157 @@ pub fn run_multiuser_degraded(
             ctx_switches += 1;
         }
         gpu_ctx = Some(ctx);
+        let slice_wait = start.saturating_sub(st.time);
+        st.wait += slice_wait;
+        st.service += d;
         let end = start + d;
         gpu_free = end;
         st.time = end;
         st.next += 1;
+        slices += 1;
+        queue.charge(i, d);
+        if let Some(m) = obs {
+            m.observe_with("sched.wait_ns", &LATENCY_BOUNDS_NS, slice_wait.as_nanos());
+        }
+
+        // Drain follow-on host work; then either resubmit or retire.
+        while let Some(Segment::Host(h)) = st.segments.get(st.next).copied() {
+            st.time += h;
+            st.next += 1;
+        }
+        if st.next < st.segments.len() {
+            if st.time <= gpu_free {
+                queue.activate(i);
+            } else {
+                future.push(Reverse((st.time.as_nanos(), i)));
+            }
+        } else {
+            // Session complete: its context and staging are released, so
+            // it frees its residency without a park.
+            lru.remove(&st.lru);
+            st.resident = false;
+            resident_count -= 1;
+        }
     }
 
-    let completions: Vec<Nanos> = states.iter().map(|s| s.time).collect();
-    MultiUserOutcome {
+    let completions: Vec<Nanos> = slots.iter().map(|s| s.time).collect();
+    let outcome = ScaleOutcome {
         makespan: completions.iter().copied().fold(Nanos::ZERO, Nanos::max),
         completions,
         ctx_switches,
-        evicted: states.iter().map(|s| s.evicted).collect(),
+        evicted: slots.iter().map(|s| s.evicted).collect(),
+        service: slots.iter().map(|s| s.service).collect(),
+        gpu_wait: slots.iter().map(|s| s.wait).collect(),
+        parks,
+        unparks,
+        peak_resident,
+    };
+    if let Some(m) = obs {
+        m.add("sched.slices", slices);
+        m.add("sched.ctx_switches", ctx_switches);
+        m.add(
+            "sched.evictions",
+            outcome.evicted.iter().filter(|e| **e).count() as u64,
+        );
+        m.add(
+            "sched.service_ns",
+            outcome.service.iter().map(|s| s.as_nanos()).sum(),
+        );
+        m.set_gauge("sched.peak_resident", peak_resident as u64);
+        if sessions.len() <= PER_SESSION_METRICS_MAX {
+            for (i, (sv, w)) in outcome.service.iter().zip(&outcome.gpu_wait).enumerate() {
+                m.add(&format!("sched.s{i}.service_ns"), sv.as_nanos());
+                m.add(&format!("sched.s{i}.wait_ns"), w.as_nanos());
+            }
+        }
     }
+    outcome
+}
+
+/// Cardinality bound for per-session metric names (see [`run_scaled`]).
+pub const PER_SESSION_METRICS_MAX: usize = 64;
+
+/// Deterministic fault-burden profiles for the scale sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// Every session healthy.
+    None,
+    /// Sparse channel-recovery stalls and the odd per-context kill.
+    Light,
+    /// Frequent recovery stalls, kills, wedged resets, aborts, and a
+    /// sprinkling of repeat offenders that hit the eviction cap.
+    Heavy,
+}
+
+impl FaultProfile {
+    /// Parses the CLI spelling used by `scale_report`.
+    pub fn parse(s: &str) -> Option<FaultProfile> {
+        match s {
+            "none" => Some(FaultProfile::None),
+            "light" => Some(FaultProfile::Light),
+            "heavy" => Some(FaultProfile::Heavy),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::None => "none",
+            FaultProfile::Light => "light",
+            FaultProfile::Heavy => "heavy",
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates one deterministic fault burden per session from `seed` —
+/// the scale sweep's and soak suite's shared population model. Same
+/// seed, same population.
+pub fn seeded_session_faults(seed: u64, users: usize, profile: FaultProfile) -> Vec<SessionFaults> {
+    let mut state = seed ^ 0xA5A5_5A5A_D00D_FEED;
+    (0..users)
+        .map(|_| {
+            let roll = splitmix64(&mut state) % 1000;
+            let magnitude = splitmix64(&mut state);
+            let mut f = SessionFaults::default();
+            match profile {
+                FaultProfile::None => {}
+                FaultProfile::Light => {
+                    // ~3% recovery stalls (1–5 ms), ~1% single kills.
+                    if roll < 30 {
+                        f.recovery = Nanos::from_micros(1_000 + magnitude % 4_000);
+                    } else if roll < 40 {
+                        f.tdr_kills = 1;
+                    }
+                }
+                FaultProfile::Heavy => {
+                    // ~15% recovery stalls (1–20 ms), ~5% kills (1–2),
+                    // ~2% sub-cap resets, ~0.3% repeat offenders who hit
+                    // the eviction cap, ~1% integrity aborts.
+                    if roll < 150 {
+                        f.recovery = Nanos::from_micros(1_000 + magnitude % 19_000);
+                    } else if roll < 200 {
+                        f.tdr_kills = 1 + (magnitude % 2) as u32;
+                    } else if roll < 220 {
+                        f.tdr_resets = 1 + (magnitude % 2) as u32;
+                    } else if roll < 223 {
+                        f.tdr_resets = EVICT_AFTER;
+                    } else if roll < 233 {
+                        f.abort_after = Some(Nanos::from_micros(500 + magnitude % 10_000));
+                    }
+                }
+            }
+            f
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -501,5 +907,196 @@ mod tests {
                 "{users} users: overhead {overhead}"
             );
         }
+    }
+
+    // ---- quantum slicing (the degenerate-slice fix) ----
+
+    fn slice_durations(d: Nanos, quantum: Nanos) -> Vec<Nanos> {
+        let mut out = Vec::new();
+        push_gpu_sliced(&mut out, d, 7, quantum);
+        out.iter()
+            .map(|s| match s {
+                Segment::Gpu(n, 7) => *n,
+                other => panic!("unexpected segment {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slicing_never_emits_zero_length_slices() {
+        let q = Nanos::from_millis(5);
+        // A segment exactly equal to the quantum is one slice, not a
+        // slice plus a zero-length sliver.
+        assert_eq!(slice_durations(q, q), vec![q]);
+        // Exact multiples slice evenly.
+        assert_eq!(slice_durations(q * 3, q), vec![q, q, q]);
+        // A zero-duration segment (zero-byte transfer) contributes
+        // nothing at all.
+        assert_eq!(slice_durations(Nanos::ZERO, q), Vec::<Nanos>::new());
+        // Remainders survive, and every slice is positive and ≤ quantum.
+        let slices = slice_durations(q * 2 + Nanos::from_micros(1), q);
+        assert_eq!(slices.len(), 3);
+        assert!(slices.iter().all(|s| *s > Nanos::ZERO && *s <= q));
+        assert_eq!(
+            slices.iter().copied().fold(Nanos::ZERO, |a, b| a + b),
+            q * 2 + Nanos::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn zero_byte_transfer_charges_no_engine_turn() {
+        // Under HIX a zero-byte HtoD produces a zero-duration crypto-DMA
+        // segment; it must not occupy the engine or charge a context
+        // switch against peers.
+        let model = CostModel::paper();
+        let t = TaskSpec {
+            name: "kernel-only".into(),
+            htod: 0,
+            dtoh: 0,
+            kernel_time: Nanos::from_millis(1),
+            launches: 1,
+        };
+        let out = run_multiuser_mixed(&model, &[t.clone(), t], Mode::Hix);
+        // Each user has exactly two non-empty GPU submissions (kernel,
+        // DtoH encrypt-launch); perfect alternation costs three context
+        // switches — a zero-length HtoD sliver would add two more.
+        assert_eq!(out.ctx_switches, 3, "zero-length slivers charged switches");
+    }
+
+    // ---- the scaled engine ----
+
+    #[test]
+    fn legacy_wrapper_matches_scaled_engine() {
+        let model = CostModel::paper();
+        let specs = vec![spec(); 4];
+        let legacy = run_multiuser_mixed(&model, &specs, Mode::Hix);
+        let sessions: Vec<SessionSpec> =
+            specs.iter().map(|s| SessionSpec::new(s.clone())).collect();
+        let scaled = run_scaled(
+            &model,
+            &sessions,
+            Mode::Hix,
+            &SchedulerConfig::new(&model),
+            None,
+        );
+        assert_eq!(legacy.makespan, scaled.makespan);
+        assert_eq!(legacy.completions, scaled.completions);
+        assert_eq!(legacy.ctx_switches, scaled.ctx_switches);
+        assert_eq!(scaled.parks, 0, "unbounded residency never parks");
+        assert_eq!(scaled.peak_resident, 4);
+    }
+
+    #[test]
+    fn weights_shift_completion_order() {
+        let model = CostModel::paper();
+        let mut sessions = vec![SessionSpec::new(spec()); 3];
+        sessions[2].weight = 8;
+        let out = run_scaled(
+            &model,
+            &sessions,
+            Mode::Hix,
+            &SchedulerConfig::new(&model),
+            None,
+        );
+        // The weight-8 tenant gets 8x the service rate while backlogged,
+        // so it finishes first; equal service totals, earlier finish.
+        assert!(out.completions[2] < out.completions[0]);
+        assert!(out.completions[2] < out.completions[1]);
+        assert_eq!(out.service[2], out.service[0], "same demand, same total");
+    }
+
+    #[test]
+    fn fair_queue_keeps_completion_spread_tight() {
+        let model = CostModel::paper();
+        let sessions = vec![SessionSpec::new(spec()); 16];
+        let out = run_scaled(
+            &model,
+            &sessions,
+            Mode::Hix,
+            &SchedulerConfig::new(&model),
+            None,
+        );
+        assert!(
+            out.fairness_ratio() < 1.5,
+            "equal tenants must finish within one round: {}",
+            out.fairness_ratio()
+        );
+    }
+
+    #[test]
+    fn bounded_residency_parks_and_recovers() {
+        let model = CostModel::paper();
+        let sessions = vec![SessionSpec::new(spec()); 6];
+        let unbounded = run_scaled(
+            &model,
+            &sessions,
+            Mode::Hix,
+            &SchedulerConfig::new(&model),
+            None,
+        );
+        let mut cfg = SchedulerConfig::new(&model);
+        cfg.max_resident = 2;
+        let bounded = run_scaled(&model, &sessions, Mode::Hix, &cfg, None);
+        assert!(bounded.parks > 0, "six tenants through two slots must park");
+        assert_eq!(
+            bounded.unparks, bounded.parks,
+            "every parked tenant resumes (none abandoned)"
+        );
+        assert!(bounded.peak_resident <= 2);
+        assert!(
+            bounded.makespan > unbounded.makespan,
+            "seal/unseal churn has a price"
+        );
+        // Parking must never lose work: same service totals either way.
+        assert_eq!(bounded.service, unbounded.service);
+    }
+
+    #[test]
+    fn scaled_metrics_record_service_and_parks() {
+        let model = CostModel::paper();
+        let sessions = vec![SessionSpec::new(spec()); 3];
+        let mut cfg = SchedulerConfig::new(&model);
+        cfg.max_resident = 2;
+        let m = Metrics::new();
+        let out = run_scaled(&model, &sessions, Mode::Hix, &cfg, Some(&m));
+        assert_eq!(m.counter("sched.parks"), out.parks);
+        assert_eq!(m.counter("sched.unparks"), out.unparks);
+        assert_eq!(
+            m.counter("sched.service_ns"),
+            out.service.iter().map(|s| s.as_nanos()).sum::<u64>()
+        );
+        assert_eq!(
+            m.counter("sched.s0.service_ns"),
+            out.service[0].as_nanos(),
+            "small populations keep per-session counters"
+        );
+        assert!(m.hist("sched.wait_ns").is_some());
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic_and_profiled() {
+        let a = seeded_session_faults(42, 1000, FaultProfile::Heavy);
+        let b = seeded_session_faults(42, 1000, FaultProfile::Heavy);
+        assert_eq!(a, b, "same seed, same population");
+        let c = seeded_session_faults(43, 1000, FaultProfile::Heavy);
+        assert_ne!(a, c, "different seeds differ");
+        assert!(
+            seeded_session_faults(42, 1000, FaultProfile::None)
+                .iter()
+                .all(|f| *f == SessionFaults::default()),
+            "the none profile is all-healthy"
+        );
+        let light = seeded_session_faults(42, 1000, FaultProfile::Light);
+        let burden = |fs: &[SessionFaults]| {
+            fs.iter()
+                .filter(|f| **f != SessionFaults::default())
+                .count()
+        };
+        assert!(burden(&light) > 0, "light is not none");
+        assert!(burden(&a) > burden(&light), "heavy outweighs light");
+        assert!(
+            a.iter().any(|f| f.tdr_resets >= EVICT_AFTER),
+            "heavy includes repeat offenders"
+        );
     }
 }

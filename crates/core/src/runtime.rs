@@ -915,6 +915,29 @@ impl HixSession {
         self.expect_ok(resp)
     }
 
+    /// Resumes a session that may have been parked (sealed out of the
+    /// enclave's resident set) or staled by a TDR action while the user
+    /// was idle: one sync round-trip wakes the enclave side, and the
+    /// ordinary recovery path transparently unseals, re-keys, and
+    /// replays the journal if needed. Returns `true` when the session
+    /// was re-established (the epoch advanced — fresh keys, fresh
+    /// nonces), `false` when it was still live and nothing changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel and remote errors, including
+    /// [`HixCoreError::Evicted`] for users the repeat-offender policy
+    /// banned while they were parked.
+    pub fn resume(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+    ) -> Result<bool, HixCoreError> {
+        let before = self.epoch;
+        self.sync(machine, enclave)?;
+        Ok(self.epoch > before)
+    }
+
     /// Ends the session: the GPU context is destroyed and its memory
     /// scrubbed.
     ///

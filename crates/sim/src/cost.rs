@@ -81,6 +81,15 @@ pub struct CostModel {
     /// and resource underutilization for tiny workloads (§5.4 notes small
     /// data cryptography underutilizes the GPU).
     pub kernel_floor: Nanos,
+    /// Engine time-slice of the multi-tenant scheduler: concurrent
+    /// clients interleave at this quantum, which is what turns per-user
+    /// contexts into context-switch traffic (Figures 8/9 use 5 ms).
+    pub sched_quantum: Nanos,
+    /// Bytes of per-session state the GPU enclave seals when parking an
+    /// idle session out of the bounded resident set (session record,
+    /// channel counters, staging metadata — not the VRAM image, which is
+    /// reproduced by journal replay on resume).
+    pub park_state_bytes: u64,
 }
 
 impl CostModel {
@@ -102,6 +111,8 @@ impl CostModel {
             ctx_switch: Nanos::from_micros(150),
             pipeline_chunk: 4 << 20,
             kernel_floor: Nanos::from_micros(8),
+            sched_quantum: Nanos::from_millis(5),
+            park_state_bytes: 16 << 10,
         }
     }
 
@@ -245,6 +256,29 @@ impl CostModel {
     pub fn tdr_reset_penalty(&self) -> Nanos {
         self.task_init_hix + self.pcie_transfer(64 << 10) + self.ctx_switch * 4
     }
+
+    /// Cost of sealing one idle session's state when the scheduler parks
+    /// it out of the bounded resident set: OCB-seal of
+    /// [`park_state_bytes`](Self::park_state_bytes) inside the GPU
+    /// enclave plus one IPC hop to hand the blob to untrusted storage.
+    pub fn park_seal(&self) -> Nanos {
+        self.enclave_crypt(self.park_state_bytes) + self.ipc_roundtrip
+    }
+
+    /// Cost of unsealing a parked session's state on resume (the mirror
+    /// of [`park_seal`](Self::park_seal); authentication is part of the
+    /// OCB pass).
+    pub fn park_unseal(&self) -> Nanos {
+        self.enclave_crypt(self.park_state_bytes) + self.ipc_roundtrip
+    }
+
+    /// Full park-and-resume cycle: what re-admitting a session that was
+    /// LRU-evicted into sealed parking costs on top of its own work
+    /// (seal of the victim + unseal of the returnee; both run on the
+    /// enclave CPU before the returnee's next GPU submission).
+    pub fn park_cycle(&self) -> Nanos {
+        self.park_seal() + self.park_unseal()
+    }
 }
 
 /// Builder for custom [`CostModel`]s (ablation studies).
@@ -299,6 +333,10 @@ impl CostModelBuilder {
         pipeline_chunk: u64,
         /// Sets the minimum duration of any GPU kernel.
         kernel_floor: Nanos,
+        /// Sets the multi-tenant scheduler's engine time-slice.
+        sched_quantum: Nanos,
+        /// Sets the sealed per-session parking-state size in bytes.
+        park_state_bytes: u64,
     }
 
     /// Finalizes the model.
@@ -404,5 +442,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn builder_rejects_zero_bandwidth() {
         let _ = CostModel::builder().pcie_bw(0).build();
+    }
+
+    #[test]
+    fn park_costs_scale_with_state_size() {
+        let m = CostModel::paper();
+        assert!(m.park_seal() > Nanos::ZERO);
+        assert_eq!(m.park_cycle(), m.park_seal() + m.park_unseal());
+        let fat = CostModel::builder().park_state_bytes(16 << 20).build();
+        assert!(fat.park_seal() > m.park_seal());
+        // Parking must stay far cheaper than a full session re-init, or
+        // the scheduler would never prefer it over teardown.
+        assert!(m.park_cycle() < m.task_init(ExecMode::Hix));
+    }
+
+    #[test]
+    fn sched_quantum_defaults_to_figure_8_slice() {
+        assert_eq!(CostModel::paper().sched_quantum, Nanos::from_millis(5));
+        let fast = CostModel::builder().sched_quantum(Nanos::from_millis(1)).build();
+        assert_eq!(fast.sched_quantum, Nanos::from_millis(1));
     }
 }

@@ -39,6 +39,19 @@ cargo run -q --release --offline -p hix-bench --bin fault_report
 # or a same-seed rerun is not deterministic.
 cargo run -q --release --offline -p hix-bench --bin tdr_report
 
+# Scale smoke: the weighted-fair scheduler sweep at 4 and 100 users x
+# {none, light, heavy} fault profiles. The bin self-checks fairness,
+# sublinearity, parking accounting, and double-run determinism; here we
+# additionally pin cross-invocation stability (two smokes must emit
+# byte-identical JSON) and that the emitted file parses with the stable
+# key order --check expects. The committed 10k-user BENCH_scale.json
+# must stay parseable too.
+cargo run -q --release --offline -p hix-bench --bin scale_report -- --smoke target/scale-a.json
+cargo run -q --release --offline -p hix-bench --bin scale_report -- --smoke target/scale-b.json
+cmp target/scale-a.json target/scale-b.json
+cargo run -q --release --offline -p hix-bench --bin scale_report -- --check target/scale-a.json
+cargo run -q --release --offline -p hix-bench --bin scale_report -- --check BENCH_scale.json
+
 # Table 2 re-runs the attack-scenario suite and the per-crate TCB LoC
 # accounting (non-fatal here: the test suite above already gates it).
 cargo run -q --release --offline -p hix-bench --bin table2_tcb 2>/dev/null || true

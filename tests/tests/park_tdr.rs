@@ -1,0 +1,128 @@
+//! Sealed-state parking under TDR: a session squeezed out of the
+//! bounded resident set into sealed parking survives a full secure
+//! device reset that happens *while it is parked*, and its re-admission
+//! recovers through the ordinary re-establishment path — fresh keys, a
+//! journal replay, byte-identical device state. Parking never resumes
+//! device context; it rebuilds it, which is exactly why a reset in the
+//! middle is survivable.
+
+use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_driver::rig::{standard_rig, RigOptions};
+use hix_sim::fault::{FaultConfig, FaultPlan};
+use hix_sim::Payload;
+
+#[test]
+fn parked_session_survives_a_secure_reset_and_recovers_via_replay() {
+    let mut m = standard_rig(RigOptions::default());
+    let mut enclave = GpuEnclave::launch(
+        &mut m,
+        GpuEnclaveOptions {
+            // Two live slots: the third tenant forces the admission
+            // controller to park the least-recently-served session.
+            max_resident: 2,
+            // Transparent recovery is the subject; the repeat-offender
+            // policy has its own tests.
+            evict_after: u32::MAX,
+            ..GpuEnclaveOptions::default()
+        },
+    )
+    .expect("enclave launches");
+
+    // The victim plants data, then goes idle.
+    let mut victim = HixSession::connect(&mut m, &mut enclave).expect("victim");
+    let plant = victim.malloc(&mut m, &mut enclave, 4096).expect("malloc");
+    let secret: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(31) ^ 0xA7) as u8).collect();
+    victim
+        .memcpy_htod(&mut m, &mut enclave, plant, &Payload::from_bytes(secret.clone()))
+        .expect("plant");
+    let before = victim
+        .memcpy_dtoh(&mut m, &mut enclave, plant, 4096)
+        .expect("dtoh before parking");
+    assert_eq!(before.bytes(), &secret[..]);
+
+    // Two more tenants: the second connect overflows the resident bound
+    // and the idle victim is the LRU choice — sealed out, not dropped.
+    let mut offender = HixSession::connect(&mut m, &mut enclave).expect("offender");
+    let off_a = offender.malloc(&mut m, &mut enclave, 8192).expect("malloc");
+    let off_b = offender.malloc(&mut m, &mut enclave, 8192).expect("malloc");
+    let _third = HixSession::connect(&mut m, &mut enclave).expect("third tenant");
+    assert!(
+        enclave.is_parked(victim.id()),
+        "the admission bound must park the least-recently-served session"
+    );
+    assert_eq!(enclave.parked_count(), 1);
+    assert!(
+        m.trace().metrics().counter("enclave.sessions_parked") >= 1,
+        "parking must be visible in the metrics registry"
+    );
+
+    // With the victim parked, wedge the device: a context that ignores
+    // the kill doorbell escalates the watchdog to a full secure reset
+    // (VRAM scrub, re-measurement, every resident session staled).
+    m.set_fault_plan(FaultPlan::new(
+        0x9A4B_0001,
+        FaultConfig {
+            gpu_hang_pm: 100,
+            gpu_wedge_pm: 1000,
+            ..FaultConfig::none()
+        },
+    ));
+    offender
+        .memcpy_htod(
+            &mut m,
+            &mut enclave,
+            off_a,
+            &Payload::from_bytes(vec![0x5C; 8192]),
+        )
+        .expect("offender htod");
+    let mut ops = 0;
+    while m.trace().metrics().counter("watchdog.resets") == 0 {
+        offender
+            .memcpy_dtod(&mut m, &mut enclave, off_a, off_b, 8192)
+            .expect("offender dtod");
+        ops += 1;
+        assert!(ops < 200, "the fault plan never escalated to a secure reset");
+    }
+    m.clear_fault_plan();
+    assert!(
+        enclave.is_parked(victim.id()),
+        "the reset must not disturb the sealed parked record"
+    );
+
+    // Re-admission: one resume round-trip unseals the parked record,
+    // which re-enters as a stale tombstone — so recovery runs the full
+    // re-establishment (fresh keys, journal replay), never a resume of
+    // pre-reset device state.
+    let reestablished = victim.resume(&mut m, &mut enclave).expect("resume");
+    assert!(reestablished, "a parked session re-admits via re-establishment");
+    assert!(!enclave.is_parked(victim.id()));
+    assert!(victim.epoch() > 0, "re-admission must mint fresh keys");
+    assert!(victim.journal_len() > 0, "the replay journal drove recovery");
+    assert!(
+        m.trace().metrics().counter("enclave.sessions_unparked") >= 1,
+        "unparking must be visible in the metrics registry"
+    );
+    // Two live slots, three tenants: re-admitting the victim parks the
+    // current LRU resident in turn.
+    assert_eq!(enclave.parked_count(), 1, "re-admission parks the next LRU victim");
+
+    let after = victim
+        .memcpy_dtoh(&mut m, &mut enclave, plant, 4096)
+        .expect("dtoh after re-admission");
+    assert_eq!(
+        after.bytes(),
+        &secret[..],
+        "journal replay must reconstruct the parked session's state byte-identically"
+    );
+    // Re-keyed, not resumed: the HtoD nonce counter restarts with the
+    // epoch and ends at exactly the fault-free chunk count.
+    let chunks = 4096u64.div_ceil(m.model().pipeline_chunk);
+    assert_eq!(victim.htod_nonce(), chunks);
+
+    // The offender's own recovery must have left it healthy too —
+    // parking and TDR both degrade one tenant, never the fleet.
+    let off_back = offender
+        .memcpy_dtoh(&mut m, &mut enclave, off_a, 8192)
+        .expect("offender dtoh");
+    assert_eq!(off_back.bytes(), &[0x5C; 8192][..]);
+}

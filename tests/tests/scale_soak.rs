@@ -1,0 +1,186 @@
+//! Differential scale soak for the weighted-fair scheduler: the same
+//! seeded tenant population runs twice per cell across 3 seeds ×
+//! {4, 1000} users × fault profiles, and every reproduction must be
+//! exact — identical [`ScaleOutcome`]s (completions, service, waits,
+//! parks) *and* identical observability snapshots, so a rerun is
+//! trace-identical, not merely same-shaped. On top of determinism the
+//! soak checks the degraded-mode guarantee at scale: a heavy fault
+//! profile (hangs, kills, secure resets, repeat offenders) may slow the
+//! fleet by bounded watchdog windows but must never starve a healthy
+//! tenant, and bounded residency (parking) must conserve service.
+
+use hix_core::multiuser::{
+    run_scaled, seeded_session_faults, FaultProfile, Mode, ScaleOutcome, SchedulerConfig,
+    SessionFaults, SessionSpec, TaskSpec,
+};
+use hix_obs::Metrics;
+use hix_sim::{CostModel, Nanos};
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const SIZES: [usize; 2] = [4, 1000];
+/// A heavy offender blocks the engine for watchdog windows every peer
+/// must absorb; this multiple of the clean makespan bounds what the
+/// soak tolerates before calling it starvation.
+const STARVATION_SLACK: f64 = 1.5;
+
+/// A bp-like tenant (the Figure 8 shape the scale sweep also uses).
+fn task() -> TaskSpec {
+    TaskSpec {
+        name: "bp-like".into(),
+        htod: 117 << 20,
+        dtoh: 42 << 20,
+        kernel_time: Nanos::from_millis(22),
+        launches: 2,
+    }
+}
+
+fn population(seed: u64, users: usize, profile: FaultProfile) -> Vec<SessionSpec> {
+    seeded_session_faults(seed, users, profile)
+        .into_iter()
+        .map(|faults| SessionSpec {
+            faults,
+            ..SessionSpec::new(task())
+        })
+        .collect()
+}
+
+/// Runs one cell and returns the outcome plus its full metrics
+/// snapshot (the trace identity the rerun must reproduce).
+fn run_cell(sessions: &[SessionSpec], config: &SchedulerConfig) -> (ScaleOutcome, String) {
+    let model = CostModel::paper();
+    let obs = Metrics::new();
+    let out = run_scaled(&model, sessions, Mode::Hix, config, Some(&obs));
+    let snapshot = obs.snapshot();
+    (out, snapshot)
+}
+
+#[test]
+fn reruns_are_byte_identical_across_seeds_and_sizes() {
+    let model = CostModel::paper();
+    let config = SchedulerConfig::new(&model);
+    for seed in SEEDS {
+        for users in SIZES {
+            for profile in [FaultProfile::None, FaultProfile::Heavy] {
+                let sessions = population(seed, users, profile);
+                let (a, snap_a) = run_cell(&sessions, &config);
+                let (b, snap_b) = run_cell(&sessions, &config);
+                assert_eq!(
+                    a, b,
+                    "outcome diverged on rerun (seed {seed}, {users} users, {} profile)",
+                    profile.name()
+                );
+                assert_eq!(
+                    snap_a,
+                    snap_b,
+                    "metrics snapshot diverged on rerun (seed {seed}, {users} users, {} profile)",
+                    profile.name()
+                );
+                assert_eq!(a.completions.len(), users);
+            }
+        }
+    }
+}
+
+#[test]
+fn different_seeds_shuffle_the_fault_burden_not_the_totals() {
+    // Sanity on the soak's own inputs: distinct seeds must produce
+    // distinct heavy populations (otherwise the 3-seed sweep is one
+    // seed in disguise), while the fault-free profile is seed-blind.
+    for users in SIZES {
+        let heavy: Vec<_> = SEEDS
+            .iter()
+            .map(|&s| seeded_session_faults(s, users, FaultProfile::Heavy))
+            .collect();
+        assert_ne!(heavy[0], heavy[1], "{users}-user heavy populations collide");
+        assert_ne!(heavy[1], heavy[2], "{users}-user heavy populations collide");
+        for &s in &SEEDS {
+            assert!(
+                seeded_session_faults(s, users, FaultProfile::None)
+                    .iter()
+                    .all(|f| *f == SessionFaults::default()),
+                "the none profile must be fault-free"
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_profile_never_starves_healthy_tenants() {
+    let model = CostModel::paper();
+    let config = SchedulerConfig::new(&model);
+    for seed in SEEDS {
+        for users in SIZES {
+            let clean = population(seed, users, FaultProfile::None);
+            let (clean_out, _) = run_cell(&clean, &config);
+            let degraded = population(seed, users, FaultProfile::Heavy);
+            let (out, _) = run_cell(&degraded, &config);
+
+            let bound = clean_out.makespan.as_nanos() as f64 * STARVATION_SLACK;
+            let mut healthy = 0u64;
+            for (i, spec) in degraded.iter().enumerate() {
+                if spec.faults != SessionFaults::default() {
+                    continue;
+                }
+                healthy += 1;
+                assert!(!out.evicted[i], "healthy tenant {i} was evicted (seed {seed})");
+                let done = out.completions[i].as_nanos();
+                assert!(done > 0, "healthy tenant {i} never finished (seed {seed})");
+                assert!(
+                    (done as f64) <= bound,
+                    "healthy tenant {i} starved: finished at {done} ns, clean makespan \
+                     {} ns, slack {STARVATION_SLACK} (seed {seed}, {users} users)",
+                    clean_out.makespan.as_nanos()
+                );
+                // A healthy tenant's delivered service is its own demand:
+                // offenders may delay it but never consume its share.
+                assert_eq!(
+                    out.service[i], clean_out.service[i],
+                    "healthy tenant {i}'s GPU service changed under faults (seed {seed})"
+                );
+            }
+            assert!(
+                healthy >= (users as u64) / 2,
+                "the heavy profile left too few healthy tenants to make the check \
+                 meaningful ({healthy}/{users})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bounded_residency_conserves_service_and_parks_transparently() {
+    let model = CostModel::paper();
+    let unbounded = SchedulerConfig::new(&model);
+    let bounded = SchedulerConfig {
+        max_resident: 64,
+        ..unbounded
+    };
+    let sessions = population(SEEDS[0], 1000, FaultProfile::None);
+    let (free, _) = run_cell(&sessions, &unbounded);
+    let (parked, snap) = run_cell(&sessions, &bounded);
+
+    assert_eq!(free.parks, 0, "an unbounded resident set never parks");
+    assert!(parked.parks > 0, "256 slots over 1000 tenants must park");
+    assert_eq!(
+        parked.parks, parked.unparks,
+        "every parked session must be transparently unsealed again"
+    );
+    assert!(parked.peak_resident <= 64, "the admission bound leaked");
+    assert_eq!(
+        free.service, parked.service,
+        "parking must conserve every tenant's delivered GPU service"
+    );
+    assert!(
+        parked.makespan >= free.makespan,
+        "seal/unseal overhead cannot make the fleet faster"
+    );
+    assert!(
+        parked.fairness_ratio() < 1.1,
+        "parking skewed fairness: {}",
+        parked.fairness_ratio()
+    );
+    assert!(
+        snap.contains("sched.parks"),
+        "parking telemetry missing from the metrics snapshot"
+    );
+}
