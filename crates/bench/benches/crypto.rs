@@ -1,52 +1,62 @@
 //! Micro-benches (hix-testkit): real throughput of the from-scratch
 //! crypto primitives (these numbers are wall-clock, not simulated —
-//! they justify the "functional plane" being usable in tests).
+//! they justify the "functional plane" being usable in tests). Emits
+//! `BENCH_crypto.json` alongside the printed report so the crypto
+//! plane's perf trajectory rides in the same ledger as the simulated
+//! reports (wall-clock numbers vary by host, so unlike `BENCH_perf` and
+//! `BENCH_scale` this file is informational, never byte-compared).
+//!
+//! Usage: `cargo bench --bench crypto [-- OUT.json]`.
+
+use std::fmt::Write as _;
 
 use hix_crypto::drbg::HmacDrbg;
 use hix_crypto::ocb::{Key, Nonce, Ocb};
 use hix_crypto::{aes::Aes128, sha256};
-use hix_testkit::bench::{black_box, Bench};
+use hix_testkit::bench::{black_box, Bench, Measurement};
 
-fn bench_aes_block() {
+fn bench_aes_block() -> Measurement {
     let aes = Aes128::new(&[7u8; 16]);
     let mut block = [0x5au8; 16];
     Bench::new("aes128/encrypt_block").run(|| {
         block = aes.encrypt_block(black_box(block));
         block
-    });
+    })
 }
 
-fn bench_ocb_seal() {
+fn bench_ocb_seal(out: &mut Vec<Measurement>) {
     let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
     for kib in [4u64, 64, 1024] {
         let data = vec![0xabu8; (kib * 1024) as usize];
         let mut counter = 0u64;
-        Bench::new(format!("ocb/seal/{kib}KiB"))
-            .throughput_bytes(kib * 1024)
-            .run(|| {
-                counter += 1;
-                ocb.seal(&Nonce::from_counter(counter), b"aad", &data)
-            });
+        out.push(
+            Bench::new(format!("ocb/seal/{kib}KiB"))
+                .throughput_bytes(kib * 1024)
+                .run(|| {
+                    counter += 1;
+                    ocb.seal(&Nonce::from_counter(counter), b"aad", &data)
+                }),
+        );
     }
 }
 
-fn bench_ocb_open() {
+fn bench_ocb_open() -> Measurement {
     let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
     let data = vec![0xabu8; 64 * 1024];
     let sealed = ocb.seal(&Nonce::from_counter(1), b"aad", &data);
     Bench::new("ocb/open/64KiB")
         .throughput_bytes(64 * 1024)
-        .run(|| ocb.open(&Nonce::from_counter(1), b"aad", &sealed).unwrap());
+        .run(|| ocb.open(&Nonce::from_counter(1), b"aad", &sealed).unwrap())
 }
 
-fn bench_sha256() {
+fn bench_sha256() -> Measurement {
     let data = vec![0x11u8; 64 * 1024];
     Bench::new("sha256/64KiB")
         .throughput_bytes(data.len() as u64)
-        .run(|| sha256::digest(&data));
+        .run(|| sha256::digest(&data))
 }
 
-fn bench_dh_handshake() {
+fn bench_dh_handshake() -> Measurement {
     use hix_crypto::dh::DhGroup;
     let group = DhGroup::sim();
     let mut rng_a = HmacDrbg::new(b"a");
@@ -55,13 +65,55 @@ fn bench_dh_handshake() {
         let a = group.generate(&mut rng_a);
         let bk = group.generate(&mut rng_b);
         group.agree(&a, &bk.public).unwrap()
-    });
+    })
+}
+
+/// Renders the measurements as the stable-key-order JSON the other
+/// `BENCH_*.json` files use (same reader: `hix_bench::json`).
+fn emit_json(rows: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"crypto\",");
+    s.push_str("  \"rows\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"min_ns\": {}, \"iters\": {}, \"throughput_bytes\": {}, \"mib_per_sec\": {:.1}}}",
+            m.name,
+            m.median_ns,
+            m.p95_ns,
+            m.min_ns,
+            m.iters,
+            m.throughput_bytes.unwrap_or(0),
+            m.mib_per_sec(),
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 fn main() {
-    bench_aes_block();
-    bench_ocb_seal();
-    bench_ocb_open();
-    bench_sha256();
-    bench_dh_handshake();
+    let mut rows = Vec::new();
+    rows.push(bench_aes_block());
+    bench_ocb_seal(&mut rows);
+    rows.push(bench_ocb_open());
+    rows.push(bench_sha256());
+    rows.push(bench_dh_handshake());
+
+    // cargo passes harness flags like `--bench` and runs the bench with
+    // the package as CWD; the output path is the first non-flag
+    // argument, defaulting to the workspace-root ledger name.
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crypto.json").into()
+        });
+    let json = emit_json(&rows);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("crypto bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\ncrypto bench: wrote {} rows to {out_path}", rows.len());
 }

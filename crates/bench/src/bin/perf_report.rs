@@ -1,0 +1,496 @@
+//! Perf-trajectory report for the serving path: request-level latency
+//! attribution, per-tenant SLO tables, and the critical-path profiler,
+//! swept across fault profiles. Four tenants serve a seeded round-robin
+//! op mix (transfers, kernels, memsets) through the full HIX stack with
+//! span recording and request attribution on; the report prints the
+//! per-stage attribution and SLO tables behind EXPERIMENTS.md, emits
+//! `BENCH_perf.json` (the serving-path perf-trajectory file) plus a
+//! folded-stacks flamegraph export, and self-checks every cell:
+//!
+//! * **reconciliation (±0)** — attributed + unattributed charged time
+//!   equals the legacy per-category accumulator exactly, and the stage
+//!   rollup tiles the category sums;
+//! * **critical path ≤ e2e** — every request's longest charged chain
+//!   fits inside its end-to-end window (so queue = e2e − service ≥ 0);
+//! * **determinism** — same-seed reruns are byte-identical in requests,
+//!   snapshot, and emitted JSON.
+//!
+//! Usage:
+//!   perf_report [OUT.json [FOLDED.txt]]    full sweep
+//!   perf_report --smoke [OUT.json]         fewer rounds, no folded file
+//!   perf_report --check FILE.json          parse and validate a report
+//!
+//! The folded-stacks file loads directly into `flamegraph.pl` or
+//! speedscope; the Perfetto timeline of the same spans comes from
+//! `trace_report`.
+
+use std::fmt::Write as _;
+
+use hix_bench::json::{parse_json, Json};
+use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_driver::rig::{standard_rig, RigOptions};
+use hix_obs::{
+    critical_chain, critical_path_ns, fmt_ns, folded_stacks, roll_up_stages, RequestRecord,
+    SloRow, Stage,
+};
+use hix_sim::fault::{FaultConfig, FaultPlan};
+use hix_sim::Payload;
+use hix_workloads::all_kernels;
+
+/// One seed drives the whole sweep.
+const SEED: u64 = 11;
+/// Concurrently-served tenants (sessions on one enclave).
+const TENANTS: u64 = 4;
+/// Matrix dimension of the kernel work (24×24 i32, multi-message).
+const N: u64 = 24;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perf_report: FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One profile's worth of serving-path evidence.
+struct Cell {
+    profile: &'static str,
+    requests: Vec<RequestRecord>,
+    /// Per-stage `(ns, spans)` across attributed + unattributed charge,
+    /// in [`Stage::ALL`] order.
+    stages: Vec<(Stage, u64, u64)>,
+    unattributed_ns: u64,
+    slo: Vec<SloRow>,
+    makespan_ns: u64,
+    /// The single longest critical path of the run and its request.
+    longest_ns: u64,
+    longest_op: String,
+    snapshot: String,
+    folded: String,
+}
+
+fn run_cell(profile: &'static str, cfg: Option<FaultConfig>, rounds: u32) -> Cell {
+    let mut m = standard_rig(RigOptions {
+        kernels: all_kernels(),
+        ..RigOptions::default()
+    });
+    if let Some(cfg) = cfg {
+        m.set_fault_plan(FaultPlan::new(SEED ^ 0x9E4F, cfg));
+    }
+    m.trace().obs().set_recording(true);
+    m.trace().obs().set_attributing(true);
+
+    let mut enclave =
+        GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).expect("enclave launch");
+    let mut sessions: Vec<HixSession> = (0..TENANTS)
+        .map(|_| HixSession::connect(&mut m, &mut enclave).expect("connect"))
+        .collect();
+    for s in &mut sessions {
+        s.load_module(&mut m, &mut enclave, "matrix.mul").expect("module");
+    }
+    let bytes = N * N * 4;
+    let bufs: Vec<[hix_gpu::vram::DevAddr; 3]> = sessions
+        .iter_mut()
+        .map(|s| {
+            [
+                s.malloc(&mut m, &mut enclave, bytes).expect("malloc"),
+                s.malloc(&mut m, &mut enclave, bytes).expect("malloc"),
+                s.malloc(&mut m, &mut enclave, bytes).expect("malloc"),
+            ]
+        })
+        .collect();
+
+    // Seeded round-robin op mix: every tenant serves `rounds` requests
+    // of htod → (memset | dtod | nothing) → launch → sync → dtoh, with
+    // the filler drawn from a splitmix stream so profiles share the
+    // exact op tape (the fault plan has its own stream).
+    let mut rng = SEED ^ 0x5EC5_E55A;
+    for round in 0..rounds {
+        for (t, s) in sessions.iter_mut().enumerate() {
+            let [a, b, c] = bufs[t];
+            let input: Vec<u8> = (0..bytes)
+                .map(|i| (splitmix64(&mut rng) ^ i ^ round as u64) as u8)
+                .collect();
+            s.memcpy_htod(&mut m, &mut enclave, a, &Payload::from_bytes(input))
+                .expect("htod");
+            match splitmix64(&mut rng) % 3 {
+                0 => s.memset(&mut m, &mut enclave, b, bytes, 0x2A).expect("memset"),
+                1 => s.memcpy_dtod(&mut m, &mut enclave, a, b, bytes).expect("dtod"),
+                _ => {}
+            }
+            s.launch(&mut m, &mut enclave, "matrix.mul", &[a.value(), b.value(), c.value(), N])
+                .expect("launch");
+            s.sync(&mut m, &mut enclave).expect("sync");
+            let out = s.memcpy_dtoh(&mut m, &mut enclave, c, bytes).expect("dtoh");
+            if out.bytes().len() as u64 != bytes {
+                fail(&format!("{profile}: tenant {t} round {round}: short dtoh"));
+            }
+        }
+    }
+    for s in sessions.drain(..) {
+        s.close(&mut m, &mut enclave).expect("close");
+    }
+
+    let obs = m.trace().obs();
+    // Reconciliation invariant, checked on every cell: attributed +
+    // unattributed charge equals the per-category accumulator ±0.
+    if let Err(e) = obs.check_attribution() {
+        fail(&format!("{profile}: {e}"));
+    }
+    let requests = obs.requests();
+    if requests.is_empty() {
+        fail(&format!("{profile}: no requests recorded"));
+    }
+
+    // Stage rollup across everything charged (requests + outside), and
+    // a second tiling check: stage sums must equal the category sums.
+    let mut by_category: Vec<(&'static str, u64, u64)> = obs.unattributed_totals();
+    for rec in &requests {
+        for (c, ns, n) in &rec.by_category {
+            match by_category.iter_mut().find(|(lc, _, _)| lc == c) {
+                Some((_, t, k)) => {
+                    *t += ns;
+                    *k += n;
+                }
+                None => by_category.push((c, *ns, *n)),
+            }
+        }
+    }
+    let stages = roll_up_stages(&by_category);
+    let stage_ns: u64 = stages.iter().map(|(_, ns, _)| ns).sum();
+    let category_ns: u64 = obs.totals().iter().map(|(_, ns, _)| ns).sum();
+    if stage_ns != category_ns {
+        fail(&format!(
+            "{profile}: stage rollup {stage_ns} ns does not tile category totals {category_ns} ns"
+        ));
+    }
+
+    // Critical path ≤ e2e for every request; track the run's longest.
+    let mut longest_ns = 0u64;
+    let mut longest_op = String::new();
+    for rec in &requests {
+        let path = critical_path_ns(rec);
+        if path > rec.e2e_ns() {
+            fail(&format!(
+                "{profile}: request {} ({}): critical path {} ns exceeds e2e {} ns",
+                rec.id,
+                rec.name,
+                path,
+                rec.e2e_ns()
+            ));
+        }
+        if path > longest_ns {
+            longest_ns = path;
+            longest_op = format!("{} (t{}, {} links)", rec.name, rec.tenant,
+                critical_chain(rec).len());
+        }
+    }
+
+    Cell {
+        profile,
+        slo: hix_obs::slo_table(&requests),
+        stages,
+        unattributed_ns: obs.unattributed_totals().iter().map(|(_, ns, _)| ns).sum(),
+        makespan_ns: m.clock().now().as_nanos(),
+        longest_ns,
+        longest_op,
+        snapshot: obs.snapshot(),
+        folded: folded_stacks(&obs.spans(), "hix"),
+        requests,
+    }
+}
+
+// ---- JSON emit (stable key order) ----
+
+fn emit_json(cells: &[Cell], rounds: u32) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"perf_report\",");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"tenants\": {TENANTS},");
+    let _ = writeln!(s, "  \"rounds\": {rounds},");
+    s.push_str("  \"profiles\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let e2e: u64 = c.requests.iter().map(RequestRecord::e2e_ns).sum();
+        let service: u64 = c.slo.iter().map(|r| r.service_ns).sum();
+        let queue: u64 = c.slo.iter().map(|r| r.queue_ns).sum();
+        let _ = writeln!(s, "    {{\"profile\": \"{}\",", c.profile);
+        let _ = writeln!(s, "     \"requests\": {},", c.requests.len());
+        let _ = writeln!(s, "     \"makespan_ns\": {},", c.makespan_ns);
+        let _ = writeln!(s, "     \"e2e_ns\": {e2e},");
+        let _ = writeln!(s, "     \"service_ns\": {service},");
+        let _ = writeln!(s, "     \"queue_ns\": {queue},");
+        let _ = writeln!(s, "     \"longest_critical_path_ns\": {},", c.longest_ns);
+        let _ = writeln!(s, "     \"unattributed_ns\": {},", c.unattributed_ns);
+        s.push_str("     \"stages\": [\n");
+        for (j, (stage, ns, count)) in c.stages.iter().enumerate() {
+            let _ = write!(
+                s,
+                "       {{\"stage\": \"{stage}\", \"ns\": {ns}, \"spans\": {count}}}"
+            );
+            s.push_str(if j + 1 < c.stages.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("     ],\n");
+        s.push_str("     \"slo\": [\n");
+        for (j, r) in c.slo.iter().enumerate() {
+            let _ = write!(
+                s,
+                "       {{\"tenant\": \"{}\", \"requests\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"service_ns\": {}, \"queue_ns\": {}}}",
+                r.tenant,
+                r.requests,
+                r.p50_ns,
+                r.p95_ns,
+                r.p99_ns,
+                r.p999_ns,
+                r.max_ns,
+                r.service_ns,
+                r.queue_ns,
+            );
+            s.push_str(if j + 1 < c.slo.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("     ]}");
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---- JSON check ----
+
+/// Required keys of each profile, in emission order.
+const PROFILE_KEYS: [&str; 10] = [
+    "profile",
+    "requests",
+    "makespan_ns",
+    "e2e_ns",
+    "service_ns",
+    "queue_ns",
+    "longest_critical_path_ns",
+    "unattributed_ns",
+    "stages",
+    "slo",
+];
+
+/// Required keys of each SLO row, in emission order.
+const SLO_KEYS: [&str; 9] = [
+    "tenant",
+    "requests",
+    "p50_ns",
+    "p95_ns",
+    "p99_ns",
+    "p999_ns",
+    "max_ns",
+    "service_ns",
+    "queue_ns",
+];
+
+fn num(v: &Json, what: &str) -> f64 {
+    match v.as_num() {
+        Some(x) if x >= 0.0 => x,
+        _ => fail(&format!("{what} is not a non-negative number")),
+    }
+}
+
+fn check_file(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let json = match parse_json(&text) {
+        Ok(j) => j,
+        Err(e) => fail(&format!("{path}: not valid JSON: {e}")),
+    };
+    let Some(top) = json.as_obj() else {
+        fail(&format!("{path}: top level is not an object"));
+    };
+    let top_keys: Vec<&str> = top.iter().map(|(k, _)| k.as_str()).collect();
+    if top_keys != ["bench", "seed", "tenants", "rounds", "profiles"] {
+        fail(&format!("{path}: unstable top-level keys {top_keys:?}"));
+    }
+    if json.get("bench").and_then(Json::as_str) != Some("perf_report") {
+        fail(&format!("{path}: wrong bench name"));
+    }
+    let Some(profiles) = json.get("profiles").and_then(Json::as_arr) else {
+        fail(&format!("{path}: profiles is not an array"));
+    };
+    if profiles.is_empty() {
+        fail(&format!("{path}: no profiles"));
+    }
+    let stage_names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+    for (n, p) in profiles.iter().enumerate() {
+        let Some(fields) = p.as_obj() else {
+            fail(&format!("{path}: profile {n} is not an object"));
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        if keys != PROFILE_KEYS {
+            fail(&format!("{path}: profile {n} has unstable keys {keys:?}"));
+        }
+        let tag = p.get("profile").and_then(Json::as_str).unwrap_or("?");
+        // The headline invariants survive the round-trip: service +
+        // queue tile e2e, and the longest critical path fits inside it.
+        let e2e = num(p.get("e2e_ns").unwrap(), "e2e_ns");
+        let service = num(p.get("service_ns").unwrap(), "service_ns");
+        let queue = num(p.get("queue_ns").unwrap(), "queue_ns");
+        if service + queue != e2e {
+            fail(&format!("{path}: {tag}: service {service} + queue {queue} != e2e {e2e}"));
+        }
+        if num(p.get("longest_critical_path_ns").unwrap(), "longest_critical_path_ns") > e2e {
+            fail(&format!("{path}: {tag}: longest critical path exceeds total e2e"));
+        }
+        let stages = p.get("stages").and_then(Json::as_arr).unwrap_or(&[]);
+        let got: Vec<&str> = stages
+            .iter()
+            .map(|r| r.get("stage").and_then(Json::as_str).unwrap_or("?"))
+            .collect();
+        if got != stage_names {
+            fail(&format!("{path}: {tag}: stage rows {got:?} != {stage_names:?}"));
+        }
+        for row in stages {
+            num(row.get("ns").unwrap_or(&Json::Null), "stage ns");
+            num(row.get("spans").unwrap_or(&Json::Null), "stage spans");
+        }
+        let slo = p.get("slo").and_then(Json::as_arr).unwrap_or(&[]);
+        if slo.is_empty() {
+            fail(&format!("{path}: {tag}: empty SLO table"));
+        }
+        let mut slo_requests = 0.0;
+        for (i, row) in slo.iter().enumerate() {
+            let Some(fields) = row.as_obj() else {
+                fail(&format!("{path}: {tag}: SLO row {i} is not an object"));
+            };
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            if keys != SLO_KEYS {
+                fail(&format!("{path}: {tag}: SLO row {i} has unstable keys {keys:?}"));
+            }
+            let grid = [
+                num(row.get("p50_ns").unwrap(), "p50"),
+                num(row.get("p95_ns").unwrap(), "p95"),
+                num(row.get("p99_ns").unwrap(), "p99"),
+                num(row.get("p999_ns").unwrap(), "p999"),
+                num(row.get("max_ns").unwrap(), "max"),
+            ];
+            if grid.windows(2).any(|w| w[0] > w[1]) {
+                fail(&format!("{path}: {tag}: SLO row {i} percentiles not monotone"));
+            }
+            slo_requests += num(row.get("requests").unwrap(), "requests");
+        }
+        if slo_requests != num(p.get("requests").unwrap(), "requests") {
+            fail(&format!("{path}: {tag}: SLO rows do not tile the request count"));
+        }
+    }
+    println!("perf_report: {path}: OK ({} profiles, stable keys)", profiles.len());
+}
+
+// ---- tables ----
+
+fn print_cells(cells: &[Cell]) {
+    println!("# Serving-path attribution ({TENANTS} tenants, seed {SEED})\n");
+    println!("| profile | requests | e2e | service | queue | longest critical path | unattributed |");
+    println!("|---------|---------:|----:|--------:|------:|-----------------------|-------------:|");
+    for c in cells {
+        let e2e: u64 = c.requests.iter().map(RequestRecord::e2e_ns).sum();
+        let service: u64 = c.slo.iter().map(|r| r.service_ns).sum();
+        let queue: u64 = c.slo.iter().map(|r| r.queue_ns).sum();
+        println!(
+            "| {} | {} | {} | {} | {} | {} in {} | {} |",
+            c.profile,
+            c.requests.len(),
+            fmt_ns(e2e),
+            fmt_ns(service),
+            fmt_ns(queue),
+            fmt_ns(c.longest_ns),
+            c.longest_op,
+            fmt_ns(c.unattributed_ns),
+        );
+    }
+    for c in cells {
+        println!("\n## {} — per-stage attribution\n", c.profile);
+        println!("| stage | charged | spans |");
+        println!("|-------|--------:|------:|");
+        for (stage, ns, count) in &c.stages {
+            if *count > 0 {
+                println!("| {stage} | {} | {count} |", fmt_ns(*ns));
+            }
+        }
+        println!("\n## {} — per-tenant SLO\n", c.profile);
+        println!("| tenant | requests | p50 | p95 | p99 | p99.9 | max | service | queue |");
+        println!("|--------|---------:|----:|----:|----:|------:|----:|--------:|------:|");
+        for r in &c.slo {
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                r.tenant,
+                r.requests,
+                fmt_ns(r.p50_ns),
+                fmt_ns(r.p95_ns),
+                fmt_ns(r.p99_ns),
+                fmt_ns(r.p999_ns),
+                fmt_ns(r.max_ns),
+                fmt_ns(r.service_ns),
+                fmt_ns(r.queue_ns),
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            fail("--check needs a file path");
+        };
+        check_file(path);
+        return;
+    }
+    let smoke = args.first().map(String::as_str) == Some("--smoke");
+    let rounds: u32 = if smoke { 3 } else { 8 };
+    let out_path = args
+        .get(usize::from(smoke))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".into());
+    let folded_path = args.get(usize::from(smoke) + 1).cloned();
+
+    let profiles: [(&str, Option<FaultConfig>); 3] = [
+        ("none", None),
+        ("light", Some(FaultConfig::light())),
+        ("heavy", Some(FaultConfig::heavy())),
+    ];
+    let mut cells = Vec::new();
+    for (tag, cfg) in profiles {
+        let cell = run_cell(tag, cfg.clone(), rounds);
+        // Same-seed determinism: requests, snapshot, and folded stacks
+        // must replay byte-identically.
+        let again = run_cell(tag, cfg, rounds);
+        if cell.requests != again.requests
+            || cell.snapshot != again.snapshot
+            || cell.folded != again.folded
+        {
+            fail(&format!("{tag}: rerun diverged"));
+        }
+        cells.push(cell);
+    }
+
+    print_cells(&cells);
+
+    let json = emit_json(&cells, rounds);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        fail(&format!("cannot write {out_path}: {e}"));
+    }
+    if let Some(folded_path) = &folded_path {
+        // The heavy profile has the richest stacks (recovery frames).
+        if let Err(e) = std::fs::write(folded_path, &cells.last().unwrap().folded) {
+            fail(&format!("cannot write {folded_path}: {e}"));
+        }
+        println!("\nperf_report: wrote folded stacks to {folded_path}");
+    }
+    println!("\nperf_report: all self-checks passed; wrote {out_path}");
+}

@@ -20,7 +20,8 @@ use hix_core::multiuser::{
     run_scaled, seeded_session_faults, FaultProfile, Mode, ScaleOutcome, SchedulerConfig,
     SessionFaults, SessionSpec, TaskSpec,
 };
-use hix_obs::{fmt_ns, percentile_sorted, Metrics};
+use hix_bench::json::{parse_json, Json};
+use hix_obs::{fmt_ns, percentile_sorted, percentile_sorted_pm, Metrics};
 use hix_sim::{CostModel, Nanos};
 
 /// One seed drives the whole sweep (per-cell populations are derived
@@ -59,6 +60,7 @@ struct Cell {
     /// max/min completion-time ratio.
     fairness: f64,
     healthy_wait_p99: u64,
+    healthy_wait_p999: u64,
 }
 
 fn healthy_indices(faults: &[SessionFaults]) -> Vec<usize> {
@@ -117,6 +119,9 @@ fn run_cell(model: &CostModel, users: usize, profile: FaultProfile) -> Cell {
         .collect();
     waits.sort_unstable();
     let healthy_wait_p99 = percentile_sorted(&waits, 99).unwrap_or(0);
+    // The p99.9 tail only separates from p99 past a thousand healthy
+    // tenants — exactly the 10k column this sweep exists for.
+    let healthy_wait_p999 = percentile_sorted_pm(&waits, 999).unwrap_or(0);
     Cell {
         users,
         profile,
@@ -124,6 +129,7 @@ fn run_cell(model: &CostModel, users: usize, profile: FaultProfile) -> Cell {
         faults,
         fairness,
         healthy_wait_p99,
+        healthy_wait_p999,
     }
 }
 
@@ -237,7 +243,7 @@ fn emit_json(model: &CostModel, cells: &[Cell]) -> String {
         let o = &c.outcome;
         let _ = write!(
             s,
-            "    {{\"users\": {}, \"profile\": \"{}\", \"makespan_ns\": {}, \"per_user_ns\": {}, \"fairness\": {:.4}, \"ctx_switches\": {}, \"parks\": {}, \"unparks\": {}, \"peak_resident\": {}, \"evicted\": {}, \"healthy_wait_p99_ns\": {}}}",
+            "    {{\"users\": {}, \"profile\": \"{}\", \"makespan_ns\": {}, \"per_user_ns\": {}, \"fairness\": {:.4}, \"ctx_switches\": {}, \"parks\": {}, \"unparks\": {}, \"peak_resident\": {}, \"evicted\": {}, \"healthy_wait_p99_ns\": {}, \"healthy_wait_p999_ns\": {}}}",
             c.users,
             c.profile.name(),
             o.makespan.as_nanos(),
@@ -249,6 +255,7 @@ fn emit_json(model: &CostModel, cells: &[Cell]) -> String {
             o.peak_resident,
             o.evicted.iter().filter(|e| **e).count(),
             c.healthy_wait_p99,
+            c.healthy_wait_p999,
         );
         s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -256,146 +263,10 @@ fn emit_json(model: &CostModel, cells: &[Cell]) -> String {
     s
 }
 
-// ---- JSON check (minimal recursive-descent parser) ----
-
-#[derive(Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn ws(&mut self) {
-        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-    fn peek(&mut self) -> Option<u8> {
-        self.ws();
-        self.b.get(self.i).copied()
-    }
-    fn eat(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", c as char, self.i))
-        }
-    }
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek().ok_or("unexpected end")? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.lit("true", Json::Bool(true)),
-            b'f' => self.lit("false", Json::Bool(false)),
-            b'n' => self.lit("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.b[self.i..].starts_with(word.as_bytes()) {
-            self.i += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.i))
-        }
-    }
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let start = self.i;
-        while self.i < self.b.len() && self.b[self.i] != b'"' {
-            if self.b[self.i] == b'\\' {
-                return Err("escapes unsupported in report strings".into());
-            }
-            self.i += 1;
-        }
-        let s = String::from_utf8(self.b[start..self.i].to_vec())
-            .map_err(|_| "non-utf8 string".to_string())?;
-        self.eat(b'"')?;
-        Ok(s)
-    }
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.i;
-        while self
-            .b
-            .get(self.i)
-            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.i += 1;
-        }
-        std::str::from_utf8(&self.b[start..self.i])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut out = Vec::new();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(Json::Arr(out));
-        }
-        loop {
-            out.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Json::Arr(out));
-                }
-                _ => return Err(format!("bad array at byte {}", self.i)),
-            }
-        }
-    }
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut out = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(Json::Obj(out));
-        }
-        loop {
-            let key = self.string()?;
-            self.eat(b':')?;
-            out.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Json::Obj(out));
-                }
-                _ => return Err(format!("bad object at byte {}", self.i)),
-            }
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        b: text.as_bytes(),
-        i: 0,
-    };
-    let v = p.value()?;
-    p.ws();
-    if p.i != p.b.len() {
-        return Err(format!("trailing garbage at byte {}", p.i));
-    }
-    Ok(v)
-}
+// ---- JSON check (parser shared via hix_bench::json) ----
 
 /// Required keys of each cell, in emission order.
-const CELL_KEYS: [&str; 11] = [
+const CELL_KEYS: [&str; 12] = [
     "users",
     "profile",
     "makespan_ns",
@@ -407,6 +278,7 @@ const CELL_KEYS: [&str; 11] = [
     "peak_resident",
     "evicted",
     "healthy_wait_p99_ns",
+    "healthy_wait_p999_ns",
 ];
 
 fn check_file(path: &str) {
@@ -450,6 +322,10 @@ fn check_file(path: &str) {
                 (k, _) => fail(&format!("{path}: cell {n}: key {k} is not a number")),
             }
         }
+        let tail = |key: &str| cell.get(key).and_then(Json::as_num).unwrap_or(0.0);
+        if tail("healthy_wait_p999_ns") < tail("healthy_wait_p99_ns") {
+            fail(&format!("{path}: cell {n}: p99.9 wait below p99"));
+        }
     }
     println!("scale_report: {path}: OK ({} cells, stable keys)", cells.len());
 }
@@ -482,12 +358,12 @@ fn main() {
     check_cells(&model, &cells);
 
     println!("# Scale sweep (bp-like tenants, max_resident = {MAX_RESIDENT}, seed {SEED})\n");
-    println!("| users | profile | makespan | per-user | fairness | ctx switches | parks | evicted | healthy wait p99 |");
-    println!("|------:|---------|---------:|---------:|---------:|-------------:|------:|--------:|-----------------:|");
+    println!("| users | profile | makespan | per-user | fairness | ctx switches | parks | evicted | healthy wait p99 | p99.9 |");
+    println!("|------:|---------|---------:|---------:|---------:|-------------:|------:|--------:|-----------------:|------:|");
     for c in &cells {
         let o = &c.outcome;
         println!(
-            "| {} | {} | {} | {} | {:.3} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {:.3} | {} | {} | {} | {} | {} |",
             c.users,
             c.profile.name(),
             fmt_ns(o.makespan.as_nanos()),
@@ -497,6 +373,7 @@ fn main() {
             o.parks,
             o.evicted.iter().filter(|e| **e).count(),
             fmt_ns(c.healthy_wait_p99),
+            fmt_ns(c.healthy_wait_p999),
         );
     }
 

@@ -7,6 +7,7 @@
 //! Usage: `trace_report [output-dir]` (default `target/trace-report`).
 //! Open the emitted `*.trace.json` at <https://ui.perfetto.dev>.
 
+use hix_bench::json::{parse_json, Json};
 use hix_bench::{bench_rig, MatrixAt};
 use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
 use hix_driver::rig::GPU_BDF;
@@ -98,6 +99,52 @@ fn collect(machine: &hix_platform::Machine, tag: &str) -> TracedRun {
     }
 }
 
+/// Structural self-check of the exported Chrome trace: the file must be
+/// one well-formed JSON object whose `traceEvents` rows Perfetto can
+/// actually render — anything malformed exits non-zero instead of
+/// shipping a trace the UI would silently reject.
+fn check_perfetto(tag: &str, text: &str) {
+    let json = match parse_json(text) {
+        Ok(j) => j,
+        Err(e) => fail(&format!("{tag} trace is not valid JSON: {e}")),
+    };
+    let Some(events) = json.get("traceEvents").and_then(Json::as_arr) else {
+        fail(&format!("{tag} trace has no traceEvents array"));
+    };
+    if events.is_empty() {
+        fail(&format!("{tag} trace is empty"));
+    }
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph").and_then(Json::as_str) {
+            Some(ph) => ph,
+            None => fail(&format!("{tag} trace event {i} has no phase")),
+        };
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(Json::as_num).is_none() {
+                fail(&format!("{tag} trace event {i} ({ph}) has no numeric {key}"));
+            }
+        }
+        if ph == "X" {
+            // Complete spans need a renderable placement: non-negative
+            // timestamp and duration, and a name for the track label.
+            for key in ["ts", "dur"] {
+                match ev.get(key).and_then(Json::as_num) {
+                    Some(x) if x >= 0.0 => {}
+                    _ => fail(&format!("{tag} trace event {i} has bad {key}")),
+                }
+            }
+            if ev.get("name").and_then(Json::as_str).is_none_or(str::is_empty) {
+                fail(&format!("{tag} trace event {i} has no name"));
+            }
+            complete += 1;
+        }
+    }
+    if complete == 0 {
+        fail(&format!("{tag} trace parsed but has no complete spans"));
+    }
+}
+
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
@@ -124,6 +171,7 @@ fn main() {
         if !run.json.contains("\"ph\":\"X\"") {
             fail(&format!("{tag} trace contains no complete spans"));
         }
+        check_perfetto(tag, &run.json);
     }
     if hix.categories.len() < 6 {
         fail(&format!(

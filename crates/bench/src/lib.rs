@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
 use hix_driver::rig::{standard_rig, RigOptions, GPU_BDF};
 use hix_driver::Gdev;

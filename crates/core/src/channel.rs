@@ -302,7 +302,11 @@ impl Endpoint {
             hop,
             EventKind::Ipc,
             label,
-            &[("bytes", sealed.len() as u64), ("seq", seq)],
+            &[
+                ("bytes", sealed.len() as u64),
+                ("seq", seq),
+                ("stage", EventKind::Ipc.stage().index()),
+            ],
         );
 
         let lay = dir_layout(dir);

@@ -914,6 +914,10 @@ impl GpuEnclave {
             Request::Sync => "req.sync",
             Request::Close => "req.close",
         };
+        // Server-side request ledger: one counter per op type, so the
+        // enclave's view of served requests can be reconciled against
+        // the runtime's request attribution.
+        machine.trace().metrics().inc(op);
         let obs = machine.trace().obs().clone();
         let span = obs.enter(
             machine.clock().now().as_nanos(),

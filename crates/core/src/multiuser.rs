@@ -444,10 +444,12 @@ fn build_segments(
 /// When `obs` is supplied, aggregate counters (`sched.slices`,
 /// `sched.parks`, `sched.unparks`, `sched.ctx_switches`,
 /// `sched.evictions`, `sched.service_ns`), the `sched.wait_ns`
-/// histogram, and the `sched.peak_resident` gauge are recorded; with at
-/// most [`PER_SESSION_METRICS_MAX`] tenants, per-session service and
-/// wait counters (`sched.s<i>.service_ns`/`.wait_ns`) are kept too
-/// (bounded cardinality — a 10k sweep must not mint 10k counter names).
+/// histogram, and the `sched.peak_resident` gauge are recorded. The
+/// first [`PER_SESSION_METRICS_MAX`] sessions also get individual
+/// service and wait counters (`sched.s<i>.service_ns`/`.wait_ns`);
+/// sessions past that gate aggregate into `sched.overflow.sessions`/
+/// `.service_ns`/`.wait_ns` — bounded cardinality (a 10k sweep must
+/// not mint 10k counter names) without losing any totals.
 pub fn run_scaled(
     model: &CostModel,
     sessions: &[SessionSpec],
@@ -631,11 +633,29 @@ pub fn run_scaled(
             outcome.service.iter().map(|s| s.as_nanos()).sum(),
         );
         m.set_gauge("sched.peak_resident", peak_resident as u64);
-        if sessions.len() <= PER_SESSION_METRICS_MAX {
-            for (i, (sv, w)) in outcome.service.iter().zip(&outcome.gpu_wait).enumerate() {
+        // Cardinality gate: the first PER_SESSION_METRICS_MAX sessions
+        // keep individual counters; everyone past the gate aggregates
+        // into one `sched.overflow.*` bucket (with a population count),
+        // so a 10k sweep mints a bounded name set while
+        // Σ sched.s<i>.* + sched.overflow.* == sched.service_ns and the
+        // matching wait total — nothing is dropped, only coarsened.
+        let mut overflow_sessions = 0u64;
+        let mut overflow_service = 0u64;
+        let mut overflow_wait = 0u64;
+        for (i, (sv, w)) in outcome.service.iter().zip(&outcome.gpu_wait).enumerate() {
+            if i < PER_SESSION_METRICS_MAX {
                 m.add(&format!("sched.s{i}.service_ns"), sv.as_nanos());
                 m.add(&format!("sched.s{i}.wait_ns"), w.as_nanos());
+            } else {
+                overflow_sessions += 1;
+                overflow_service += sv.as_nanos();
+                overflow_wait += w.as_nanos();
             }
+        }
+        if overflow_sessions > 0 {
+            m.add("sched.overflow.sessions", overflow_sessions);
+            m.add("sched.overflow.service_ns", overflow_service);
+            m.add("sched.overflow.wait_ns", overflow_wait);
         }
     }
     outcome
@@ -1071,6 +1091,47 @@ mod tests {
             "small populations keep per-session counters"
         );
         assert!(m.hist("sched.wait_ns").is_some());
+        assert_eq!(
+            m.counter("sched.overflow.sessions"),
+            0,
+            "no overflow bucket below the gate"
+        );
+    }
+
+    #[test]
+    fn per_session_metrics_overflow_into_one_bucket_past_the_gate() {
+        let model = CostModel::paper();
+        let users = PER_SESSION_METRICS_MAX + 7;
+        let sessions = vec![SessionSpec::new(spec()); users];
+        let m = Metrics::new();
+        let out = run_scaled(
+            &model,
+            &sessions,
+            Mode::Hix,
+            &SchedulerConfig::new(&model),
+            Some(&m),
+        );
+        assert_eq!(m.counter("sched.overflow.sessions"), 7);
+        let named: u64 = (0..PER_SESSION_METRICS_MAX)
+            .map(|i| m.counter(&format!("sched.s{i}.service_ns")))
+            .sum();
+        assert_eq!(
+            named + m.counter("sched.overflow.service_ns"),
+            m.counter("sched.service_ns"),
+            "named + overflow must tile the aggregate service total"
+        );
+        assert_eq!(
+            m.counter("sched.overflow.service_ns"),
+            out.service[PER_SESSION_METRICS_MAX..]
+                .iter()
+                .map(|s| s.as_nanos())
+                .sum::<u64>()
+        );
+        assert_eq!(
+            m.counter(&format!("sched.s{}.service_ns", PER_SESSION_METRICS_MAX)),
+            0,
+            "no individual counter minted past the gate"
+        );
     }
 
     #[test]

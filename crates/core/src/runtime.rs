@@ -76,6 +76,27 @@ impl std::fmt::Debug for HixSession {
     }
 }
 
+/// Opens a request-attribution scope for one public session op: the
+/// obs layer charges every span completing before the matching
+/// [`end_request`] to this request (per category and as critical-path
+/// intervals). `None` — and a no-op end — when attribution is disabled
+/// or an outer op already holds the request (e.g. `resume` → `sync`),
+/// so nested ops roll up into their caller.
+fn begin_request(machine: &mut Machine, tenant: u64, name: &str) -> Option<hix_obs::RequestId> {
+    let now = machine.clock().now().as_nanos();
+    machine.trace().obs().begin_request(now, tenant, name)
+}
+
+/// Completes a request scope opened by [`begin_request`]; called on
+/// success and error paths alike so a failing op still closes its
+/// attribution window.
+fn end_request(machine: &mut Machine, req: Option<hix_obs::RequestId>) {
+    if let Some(id) = req {
+        let now = machine.clock().now().as_nanos();
+        machine.trace().obs().end_request(id, now);
+    }
+}
+
 fn build_user_enclave(machine: &mut Machine, tag: &[u8]) -> Result<ProcessId, HixCoreError> {
     let pid = machine.create_process();
     machine.ecreate(pid);
@@ -111,6 +132,9 @@ impl HixSession {
         shared_len: u64,
         seed: &[u8],
     ) -> Result<HixSession, HixCoreError> {
+        // The session id does not exist yet; connects attribute to the
+        // control-plane tenant 0.
+        let req = begin_request(machine, 0, "connect");
         let obs = machine.trace().obs().clone();
         let span = obs.enter(
             machine.clock().now().as_nanos(),
@@ -120,6 +144,7 @@ impl HixSession {
         );
         let result = HixSession::connect_inner(machine, enclave, shared_len, seed);
         obs.exit(span, machine.clock().now().as_nanos());
+        end_request(machine, req);
         result
     }
 
@@ -626,10 +651,15 @@ impl HixSession {
         enclave: &mut GpuEnclave,
         name: &str,
     ) -> Result<(), HixCoreError> {
-        let resp = self.exec(machine, enclave, &Request::LoadModule { name: name.into() })?;
-        self.expect_ok(resp)?;
-        self.journal.push(JournalOp::LoadModule { name: name.into() });
-        Ok(())
+        let req = begin_request(machine, u64::from(self.id), "load_module");
+        let result = (|| {
+            let resp = self.exec(machine, enclave, &Request::LoadModule { name: name.into() })?;
+            self.expect_ok(resp)?;
+            self.journal.push(JournalOp::LoadModule { name: name.into() });
+            Ok(())
+        })();
+        end_request(machine, req);
+        result
     }
 
     /// `hixMemAlloc`.
@@ -643,7 +673,8 @@ impl HixSession {
         enclave: &mut GpuEnclave,
         len: u64,
     ) -> Result<DevAddr, HixCoreError> {
-        match self.exec(machine, enclave, &Request::Malloc { len })? {
+        let req = begin_request(machine, u64::from(self.id), "malloc");
+        let result = (|| match self.exec(machine, enclave, &Request::Malloc { len })? {
             Response::Addr(va) => {
                 self.journal.push(JournalOp::Malloc { len, va });
                 Ok(va)
@@ -651,7 +682,9 @@ impl HixSession {
             Response::Err(msg) => Err(HixCoreError::Remote(msg)),
             Response::Ok => Err(HixCoreError::Protocol("expected address".into())),
             Response::CtxReset => Err(HixCoreError::Protocol("unhandled context reset".into())),
-        }
+        })();
+        end_request(machine, req);
+        result
     }
 
     /// `hixMemFree` (always scrubbed on the GPU).
@@ -665,10 +698,15 @@ impl HixSession {
         enclave: &mut GpuEnclave,
         va: DevAddr,
     ) -> Result<(), HixCoreError> {
-        let resp = self.exec(machine, enclave, &Request::Free { va })?;
-        self.expect_ok(resp)?;
-        self.journal.push(JournalOp::Free { va });
-        Ok(())
+        let req = begin_request(machine, u64::from(self.id), "free");
+        let result = (|| {
+            let resp = self.exec(machine, enclave, &Request::Free { va })?;
+            self.expect_ok(resp)?;
+            self.journal.push(JournalOp::Free { va });
+            Ok(())
+        })();
+        end_request(machine, req);
+        result
     }
 
     /// `hixMemcpyHtoD` — the single-copy pipelined secure transfer
@@ -697,6 +735,7 @@ impl HixSession {
             sealed_stream_len(len, chunk) <= self.endpoint.bulk_capacity(),
             "transfer exceeds the shared-memory window; reconnect with a larger one"
         );
+        let req = begin_request(machine, u64::from(self.id), "memcpy_htod");
         let obs = machine.trace().obs().clone();
         let span = obs.enter(
             machine.clock().now().as_nanos(),
@@ -737,6 +776,7 @@ impl HixSession {
                 .advance_to(start + model.ipc_roundtrip + model.hix_htod(len));
         }
         obs.exit(span, machine.clock().now().as_nanos());
+        end_request(machine, req);
         result
     }
 
@@ -763,6 +803,7 @@ impl HixSession {
             sealed_stream_len(len, chunk) <= self.endpoint.bulk_capacity(),
             "transfer exceeds the shared-memory window; reconnect with a larger one"
         );
+        let req = begin_request(machine, u64::from(self.id), "memcpy_dtoh");
         let obs = machine.trace().obs().clone();
         let span = obs.enter(
             machine.clock().now().as_nanos(),
@@ -771,69 +812,73 @@ impl HixSession {
             &[("bytes", len)],
         );
         let start = machine.clock().now();
-        // Reads are not journaled (they carry no state) but still ride
-        // the TDR-recovery loop: after a recovery the replayed journal
-        // has reconstructed the source buffer, so the retried read
-        // returns exactly the bytes the fault-free run would have.
-        let nonce_start = (|| {
-            let mut resets = 0u32;
-            loop {
-                let nonce_start = self.dtoh_nonce;
-                let request = Request::MemcpyDtoH { src, len, chunk, nonce_start };
-                let resp = self.roundtrip(machine, enclave, &request)?;
-                if !matches!(resp, Response::CtxReset) {
-                    self.expect_ok(resp)?;
-                    self.dtoh_nonce += len.div_ceil(chunk);
-                    return Ok(nonce_start);
+        let result = (|| {
+            // Reads are not journaled (they carry no state) but still ride
+            // the TDR-recovery loop: after a recovery the replayed journal
+            // has reconstructed the source buffer, so the retried read
+            // returns exactly the bytes the fault-free run would have.
+            let nonce_start = (|| {
+                let mut resets = 0u32;
+                loop {
+                    let nonce_start = self.dtoh_nonce;
+                    let request = Request::MemcpyDtoH { src, len, chunk, nonce_start };
+                    let resp = self.roundtrip(machine, enclave, &request)?;
+                    if !matches!(resp, Response::CtxReset) {
+                        self.expect_ok(resp)?;
+                        self.dtoh_nonce += len.div_ceil(chunk);
+                        return Ok(nonce_start);
+                    }
+                    resets += 1;
+                    if resets > Self::MAX_TDR_RETRIES {
+                        return Err(HixCoreError::Protocol(
+                            "TDR recovery budget exhausted".into(),
+                        ));
+                    }
+                    self.recover(machine, enclave)?;
                 }
-                resets += 1;
-                if resets > Self::MAX_TDR_RETRIES {
-                    return Err(HixCoreError::Protocol(
-                        "TDR recovery budget exhausted".into(),
-                    ));
+            })()?;
+            let payload = if self.synthetic {
+                Payload::synthetic(len)
+            } else {
+                let mut out = Vec::with_capacity(len as usize);
+                let mut off = 0u64;
+                let mut index = 0u64;
+                while off < len {
+                    let this = chunk.min(len - off);
+                    let sealed = self.endpoint.buffer().read(
+                        machine,
+                        self.pid,
+                        BULK_OFFSET + index * (chunk + TAG_LEN as u64),
+                        this + TAG_LEN as u64,
+                    )?;
+                    let plain = self
+                        .data_ocb
+                        .open(&Nonce::from_counter(nonce_start + index), DATA_AAD, &sealed)
+                        .map_err(|_| HixCoreError::IntegrityFailure)?;
+                    out.extend_from_slice(&plain);
+                    off += this;
+                    index += 1;
                 }
-                self.recover(machine, enclave)?;
-            }
-        })()?;
-        let payload = if self.synthetic {
-            Payload::synthetic(len)
-        } else {
-            let mut out = Vec::with_capacity(len as usize);
-            let mut off = 0u64;
-            let mut index = 0u64;
-            while off < len {
-                let this = chunk.min(len - off);
-                let sealed = self.endpoint.buffer().read(
-                    machine,
-                    self.pid,
-                    BULK_OFFSET + index * (chunk + TAG_LEN as u64),
-                    this + TAG_LEN as u64,
-                )?;
-                let plain = self
-                    .data_ocb
-                    .open(&Nonce::from_counter(nonce_start + index), DATA_AAD, &sealed)
-                    .map_err(|_| HixCoreError::IntegrityFailure)?;
-                out.extend_from_slice(&plain);
-                off += this;
-                index += 1;
-            }
-            Payload::from_bytes(out)
-        };
-        // The user-enclave unsealing work rides the pipelined closed form
-        // below; charge it to its own category (recording only).
-        machine.trace().metrics().add("dma.bytes_decrypted", len);
-        machine.trace().emit_with(
-            machine.clock().now(),
-            model.enclave_crypt(len),
-            EventKind::EnclaveCrypto,
-            "unseal stream",
-            &[("bytes", len)],
-        );
-        machine
-            .clock()
-            .advance_to(start + model.ipc_roundtrip + model.hix_dtoh(len));
+                Payload::from_bytes(out)
+            };
+            // The user-enclave unsealing work rides the pipelined closed form
+            // below; charge it to its own category (recording only).
+            machine.trace().metrics().add("dma.bytes_decrypted", len);
+            machine.trace().emit_with(
+                machine.clock().now(),
+                model.enclave_crypt(len),
+                EventKind::EnclaveCrypto,
+                "unseal stream",
+                &[("bytes", len)],
+            );
+            machine
+                .clock()
+                .advance_to(start + model.ipc_roundtrip + model.hix_dtoh(len));
+            Ok(payload)
+        })();
         obs.exit(span, machine.clock().now().as_nanos());
-        Ok(payload)
+        end_request(machine, req);
+        result
     }
 
     /// `hixMemsetD8`.
@@ -849,10 +894,15 @@ impl HixSession {
         len: u64,
         value: u8,
     ) -> Result<(), HixCoreError> {
-        let resp = self.exec(machine, enclave, &Request::Memset { va, len, value })?;
-        self.expect_ok(resp)?;
-        self.journal.push(JournalOp::Memset { va, len, value });
-        Ok(())
+        let req = begin_request(machine, u64::from(self.id), "memset");
+        let result = (|| {
+            let resp = self.exec(machine, enclave, &Request::Memset { va, len, value })?;
+            self.expect_ok(resp)?;
+            self.journal.push(JournalOp::Memset { va, len, value });
+            Ok(())
+        })();
+        end_request(machine, req);
+        result
     }
 
     /// `hixMemcpyDtoD` — device-to-device, never leaves the GPU, so no
@@ -869,10 +919,15 @@ impl HixSession {
         dst: DevAddr,
         len: u64,
     ) -> Result<(), HixCoreError> {
-        let resp = self.exec(machine, enclave, &Request::CopyDtoD { src, dst, len })?;
-        self.expect_ok(resp)?;
-        self.journal.push(JournalOp::DtoD { src, dst, len });
-        Ok(())
+        let req = begin_request(machine, u64::from(self.id), "memcpy_dtod");
+        let result = (|| {
+            let resp = self.exec(machine, enclave, &Request::CopyDtoD { src, dst, len })?;
+            self.expect_ok(resp)?;
+            self.journal.push(JournalOp::DtoD { src, dst, len });
+            Ok(())
+        })();
+        end_request(machine, req);
+        result
     }
 
     /// `hixLaunchKernel` (synchronous — the GPU enclave syncs before
@@ -888,17 +943,22 @@ impl HixSession {
         name: &str,
         args: &[u64],
     ) -> Result<(), HixCoreError> {
-        let request = Request::Launch {
-            name: name.into(),
-            args: args.to_vec(),
-        };
-        let resp = self.exec(machine, enclave, &request)?;
-        self.expect_ok(resp)?;
-        self.journal.push(JournalOp::Launch {
-            name: name.into(),
-            args: args.to_vec(),
-        });
-        Ok(())
+        let req = begin_request(machine, u64::from(self.id), "launch");
+        let result = (|| {
+            let request = Request::Launch {
+                name: name.into(),
+                args: args.to_vec(),
+            };
+            let resp = self.exec(machine, enclave, &request)?;
+            self.expect_ok(resp)?;
+            self.journal.push(JournalOp::Launch {
+                name: name.into(),
+                args: args.to_vec(),
+            });
+            Ok(())
+        })();
+        end_request(machine, req);
+        result
     }
 
     /// `hixCtxSynchronize`.
@@ -911,8 +971,13 @@ impl HixSession {
         machine: &mut Machine,
         enclave: &mut GpuEnclave,
     ) -> Result<(), HixCoreError> {
-        let resp = self.exec(machine, enclave, &Request::Sync)?;
-        self.expect_ok(resp)
+        let req = begin_request(machine, u64::from(self.id), "sync");
+        let result = (|| {
+            let resp = self.exec(machine, enclave, &Request::Sync)?;
+            self.expect_ok(resp)
+        })();
+        end_request(machine, req);
+        result
     }
 
     /// Resumes a session that may have been parked (sealed out of the
@@ -933,8 +998,13 @@ impl HixSession {
         machine: &mut Machine,
         enclave: &mut GpuEnclave,
     ) -> Result<bool, HixCoreError> {
+        // The nested `sync`'s begin_request returns `None` while this
+        // one is open, so a resume attributes as one request.
+        let req = begin_request(machine, u64::from(self.id), "resume");
         let before = self.epoch;
-        self.sync(machine, enclave)?;
+        let result = self.sync(machine, enclave);
+        end_request(machine, req);
+        result?;
         Ok(self.epoch > before)
     }
 
@@ -949,18 +1019,25 @@ impl HixSession {
         machine: &mut Machine,
         enclave: &mut GpuEnclave,
     ) -> Result<(), HixCoreError> {
-        let resp = match self.roundtrip(machine, enclave, &Request::Close) {
-            Ok(resp) => resp,
-            // The Close was served but its ack lost: the retransmitted
-            // Close finds the session already gone. That is a close.
-            Err(HixCoreError::Protocol(msg)) if msg.starts_with("unknown session") => Response::Ok,
-            Err(e) => return Err(e),
-        };
-        self.expect_ok(resp)?;
-        // Release the shared window's frames.
-        let buffer = self.endpoint.buffer().clone();
-        buffer.release(machine);
-        Ok(())
+        let req = begin_request(machine, u64::from(self.id), "close");
+        let result = (|| {
+            let resp = match self.roundtrip(machine, enclave, &Request::Close) {
+                Ok(resp) => resp,
+                // The Close was served but its ack lost: the retransmitted
+                // Close finds the session already gone. That is a close.
+                Err(HixCoreError::Protocol(msg)) if msg.starts_with("unknown session") => {
+                    Response::Ok
+                }
+                Err(e) => return Err(e),
+            };
+            self.expect_ok(resp)?;
+            // Release the shared window's frames.
+            let buffer = self.endpoint.buffer().clone();
+            buffer.release(machine);
+            Ok(())
+        })();
+        end_request(machine, req);
+        result
     }
 }
 

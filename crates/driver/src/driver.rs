@@ -558,7 +558,7 @@ impl GpuDriver {
             machine.clock().now().as_nanos(),
             "driver",
             "dma_htod",
-            &[("bytes", len)],
+            &[("bytes", len), ("stage", hix_sim::Stage::Dma.index())],
         );
         let result = self.submit(
             machine,
@@ -592,7 +592,7 @@ impl GpuDriver {
             machine.clock().now().as_nanos(),
             "driver",
             "dma_dtoh",
-            &[("bytes", len)],
+            &[("bytes", len), ("stage", hix_sim::Stage::Dma.index())],
         );
         let result = self.submit(
             machine,

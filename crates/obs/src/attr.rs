@@ -1,0 +1,702 @@
+//! Request-scoped latency attribution.
+//!
+//! A *request* is one logical enclave operation (a `memcpy_htod`, a
+//! `launch`, a `sync`…) observed from submission to completion. While a
+//! request is open on the collector, every charged span that completes
+//! is attributed to it — per category, and as a raw interval list for
+//! the critical-path profiler in [`crate::critpath`]. Charged time that
+//! falls outside any request lands in a parallel *unattributed*
+//! accumulator, so the attribution ledger always tiles the per-category
+//! totals exactly:
+//!
+//! > for every category: Σ attributed (finished + open requests)
+//! > + unattributed == [`crate::Obs::category_ns`]  (±0)
+//!
+//! That reconciliation invariant is unconditional — it holds whether or
+//! not request tracking is enabled, because the unattributed side is
+//! always maintained alongside the legacy totals.
+//!
+//! Request tracking itself (`begin_request`/`end_request`) is opt-in via
+//! [`crate::Obs::set_attributing`], mirroring the recording flag: the
+//! hot path of an uninstrumented run pays only the unattributed
+//! accumulate. Requests do not nest; a `begin_request` while one is
+//! open returns `None` and the inner operation's charges roll up into
+//! the outer request (e.g. a `resume` that internally issues a `sync`).
+
+use crate::span::Obs;
+use crate::{percentile_sorted, percentile_sorted_pm};
+
+/// Coarse pipeline stage of the HIX serving path. Every charged-span
+/// category maps onto exactly one stage ([`Stage::of_category`]), so
+/// per-stage rollups inherit the ±0 reconciliation of the per-category
+/// ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Host-side runtime work: session setup, context switches, device
+    /// memory management, and anything uncategorized.
+    Runtime,
+    /// The untrusted channel: IPC messages and MMIO doorbells.
+    Channel,
+    /// CPU-enclave crypto (sealing/unsealing on the host).
+    CryptoCpu,
+    /// On-GPU crypto kernels (decrypt/encrypt of sealed streams).
+    CryptoGpu,
+    /// PCIe DMA wire time.
+    Dma,
+    /// User kernel compute time on the GPU.
+    Compute,
+    /// Attestation and access-control enforcement.
+    Security,
+    /// Fault injection and recovery bookkeeping.
+    Fault,
+}
+
+impl Stage {
+    /// Every stage, in report order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Runtime,
+        Stage::Channel,
+        Stage::CryptoCpu,
+        Stage::CryptoGpu,
+        Stage::Dma,
+        Stage::Compute,
+        Stage::Security,
+        Stage::Fault,
+    ];
+
+    /// Stable lower-case name (used as a JSON key in `BENCH_perf.json`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Runtime => "runtime",
+            Stage::Channel => "channel",
+            Stage::CryptoCpu => "crypto-cpu",
+            Stage::CryptoGpu => "crypto-gpu",
+            Stage::Dma => "dma",
+            Stage::Compute => "compute",
+            Stage::Security => "security",
+            Stage::Fault => "fault",
+        }
+    }
+
+    /// Stable numeric index (position in [`Stage::ALL`]) — the value of
+    /// the `("stage", …)` attribute the device and driver layers tag
+    /// their DMA/kernel spans with, since span attributes are numeric.
+    pub fn index(self) -> u64 {
+        Stage::ALL.iter().position(|s| *s == self).unwrap() as u64
+    }
+
+    /// Inverse of [`Stage::index`]; `None` for an out-of-range value.
+    pub fn from_index(idx: u64) -> Option<Stage> {
+        Stage::ALL.get(idx as usize).copied()
+    }
+
+    /// Maps a charged-span category onto its pipeline stage. Total: an
+    /// unknown category folds into [`Stage::Runtime`], so stage rollups
+    /// can never drop time.
+    pub fn of_category(category: &str) -> Stage {
+        match category {
+            "ipc" | "mmio" => Stage::Channel,
+            "enclave-crypto" => Stage::CryptoCpu,
+            "gpu-crypto" => Stage::CryptoGpu,
+            "dma" => Stage::Dma,
+            "kernel" => Stage::Compute,
+            "attestation" | "security" => Stage::Security,
+            "fault" => Stage::Fault,
+            _ => Stage::Runtime,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Handle for an open request, returned by [`Obs::begin_request`] and
+/// consumed by [`Obs::end_request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestId(pub(crate) u64);
+
+impl RequestId {
+    /// The numeric id (also attached as a `("req", id)` attribute to
+    /// every span recorded while the request is open).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// One charged interval attributed to a request — the raw material of
+/// the critical-path profiler. Charged spans may overlap in virtual
+/// time (the secure DMA pipeline overlaps crypto and wire time), so the
+/// per-category sums can legitimately exceed the request's end-to-end
+/// latency; the longest *non-overlapping* chain is the principled
+/// service-time measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChargedInterval {
+    /// Virtual-time start, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Accounting category of the charge.
+    pub category: &'static str,
+}
+
+impl ChargedInterval {
+    /// Virtual-time end, nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// A completed request with its attribution ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request id (unique per collector lifetime, starts at 1).
+    pub id: u64,
+    /// Tenant (session) the request belongs to.
+    pub tenant: u64,
+    /// Operation name ("memcpy_htod", "launch", …).
+    pub name: String,
+    /// Virtual-time submission, nanoseconds.
+    pub start_ns: u64,
+    /// Virtual-time completion, nanoseconds.
+    pub end_ns: u64,
+    /// Per-category charged time: `(category, ns, count)` in
+    /// first-charge order.
+    pub by_category: Vec<(&'static str, u64, u64)>,
+    /// Every charged interval, in completion order.
+    pub intervals: Vec<ChargedInterval>,
+}
+
+impl RequestRecord {
+    /// End-to-end latency in nanoseconds.
+    pub fn e2e_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Total charged nanoseconds across all categories (can exceed
+    /// [`RequestRecord::e2e_ns`] when charges overlap in time).
+    pub fn charged_ns(&self) -> u64 {
+        self.by_category.iter().map(|(_, ns, _)| ns).sum()
+    }
+
+    /// Per-stage rollup of the per-category ledger, in
+    /// [`Stage::ALL`] order (stages with zero charge included).
+    pub fn by_stage(&self) -> Vec<(Stage, u64, u64)> {
+        roll_up_stages(&self.by_category)
+    }
+}
+
+/// Rolls a `(category, ns, count)` ledger up into per-stage rows in
+/// [`Stage::ALL`] order. Total by construction: every category maps to
+/// exactly one stage, so the stage sums tile the category sums.
+pub fn roll_up_stages(by_category: &[(&'static str, u64, u64)]) -> Vec<(Stage, u64, u64)> {
+    let mut rows: Vec<(Stage, u64, u64)> =
+        Stage::ALL.iter().map(|s| (*s, 0u64, 0u64)).collect();
+    for (category, ns, count) in by_category {
+        let stage = Stage::of_category(category);
+        let row = rows.iter_mut().find(|(s, _, _)| *s == stage).unwrap();
+        row.1 += ns;
+        row.2 += count;
+    }
+    rows
+}
+
+/// The request currently open on a collector.
+#[derive(Debug)]
+pub(crate) struct OpenRequest {
+    pub(crate) id: u64,
+    pub(crate) tenant: u64,
+    pub(crate) name: String,
+    pub(crate) start_ns: u64,
+    pub(crate) scope: crate::span::SpanId,
+    pub(crate) by_category: Vec<(&'static str, u64, u64)>,
+    pub(crate) intervals: Vec<ChargedInterval>,
+}
+
+/// Attribution state riding inside the collector.
+#[derive(Debug, Default)]
+pub(crate) struct AttrState {
+    /// Whether `begin_request` opens requests (off by default).
+    pub(crate) enabled: bool,
+    next_id: u64,
+    pub(crate) current: Option<OpenRequest>,
+    finished: Vec<RequestRecord>,
+    /// Charged time outside any request: `(category, ns, count)` in
+    /// first-charge order. Always maintained, so the reconciliation
+    /// invariant holds unconditionally.
+    unattributed: Vec<(&'static str, u64, u64)>,
+}
+
+fn accumulate(ledger: &mut Vec<(&'static str, u64, u64)>, category: &'static str, dur_ns: u64) {
+    match ledger.iter_mut().find(|(c, _, _)| *c == category) {
+        Some((_, total, count)) => {
+            *total += dur_ns;
+            *count += 1;
+        }
+        None => ledger.push((category, dur_ns, 1)),
+    }
+}
+
+impl AttrState {
+    /// Charges `dur_ns` of `category` to the open request (or the
+    /// unattributed ledger). Called from [`Obs::charged`] for every
+    /// charged span.
+    pub(crate) fn on_charged(&mut self, start_ns: u64, dur_ns: u64, category: &'static str) {
+        match &mut self.current {
+            Some(req) => {
+                accumulate(&mut req.by_category, category, dur_ns);
+                req.intervals.push(ChargedInterval { start_ns, dur_ns, category });
+            }
+            None => accumulate(&mut self.unattributed, category, dur_ns),
+        }
+    }
+
+    /// Id of the open request, if any (attached to recorded spans).
+    pub(crate) fn current_id(&self) -> Option<u64> {
+        self.current.as_ref().map(|r| r.id)
+    }
+
+    pub(crate) fn next_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    pub(crate) fn finish(&mut self, end_ns: u64) -> Option<crate::span::SpanId> {
+        let req = self.current.take()?;
+        let scope = req.scope;
+        self.finished.push(RequestRecord {
+            id: req.id,
+            tenant: req.tenant,
+            name: req.name,
+            start_ns: req.start_ns,
+            end_ns: end_ns.max(req.start_ns),
+            by_category: req.by_category,
+            intervals: req.intervals,
+        });
+        Some(scope)
+    }
+
+    pub(crate) fn finished(&self) -> &[RequestRecord] {
+        &self.finished
+    }
+
+    pub(crate) fn unattributed(&self) -> &[(&'static str, u64, u64)] {
+        &self.unattributed
+    }
+
+    /// Clears requests and ledgers, keeping the enabled flag (mirrors
+    /// how `clear` keeps the recording flag).
+    pub(crate) fn clear(&mut self) {
+        self.next_id = 0;
+        self.current = None;
+        self.finished.clear();
+        self.unattributed.clear();
+    }
+}
+
+impl Obs {
+    /// Enables or disables request tracking. Off by default; the
+    /// unattributed ledger is maintained either way.
+    pub fn set_attributing(&self, on: bool) {
+        self.with_inner(|inner| inner.attr.enabled = on);
+    }
+
+    /// Whether request tracking is enabled.
+    pub fn attributing(&self) -> bool {
+        self.with_inner(|inner| inner.attr.enabled)
+    }
+
+    /// Opens a request for tenant `tenant` named `name` at `now_ns`.
+    ///
+    /// Returns `None` when attribution is disabled **or a request is
+    /// already open** — requests do not nest; an inner operation's
+    /// charges roll up into the outer request. While span recording is
+    /// on, the request also opens a structural `request` scope so the
+    /// Perfetto timeline and folded stacks nest under it, and every
+    /// span recorded until [`Obs::end_request`] carries a
+    /// `("req", id)` attribute.
+    pub fn begin_request(&self, now_ns: u64, tenant: u64, name: &str) -> Option<RequestId> {
+        let id = self.with_inner(|inner| {
+            if !inner.attr.enabled || inner.attr.current.is_some() {
+                return None;
+            }
+            Some(inner.attr.next_id())
+        })?;
+        let scope =
+            self.enter(now_ns, "request", name, &[("req", id), ("tenant", tenant)]);
+        self.with_inner(|inner| {
+            inner.attr.current = Some(OpenRequest {
+                id,
+                tenant,
+                name: name.to_string(),
+                start_ns: now_ns,
+                scope,
+                by_category: Vec::new(),
+                intervals: Vec::new(),
+            });
+        });
+        Some(RequestId(id))
+    }
+
+    /// Completes the open request at `now_ns`. Tolerant: a stale or
+    /// mismatched id (the request was already closed) is a no-op, so an
+    /// error path can never wedge the attributor.
+    pub fn end_request(&self, id: RequestId, now_ns: u64) {
+        let scope = self.with_inner(|inner| {
+            if inner.attr.current_id() != Some(id.0) {
+                return None;
+            }
+            inner.attr.finish(now_ns)
+        });
+        if let Some(scope) = scope {
+            self.exit(scope, now_ns);
+        }
+    }
+
+    /// All completed requests, in completion order.
+    pub fn requests(&self) -> Vec<RequestRecord> {
+        self.with_inner(|inner| inner.attr.finished().to_vec())
+    }
+
+    /// Charged time that fell outside any request, per category:
+    /// `(category, ns, count)` in first-charge order.
+    pub fn unattributed_totals(&self) -> Vec<(&'static str, u64, u64)> {
+        self.with_inner(|inner| inner.attr.unattributed().to_vec())
+    }
+
+    /// Verifies the reconciliation invariant: for every category,
+    /// attributed (finished + open request) + unattributed charged time
+    /// and span counts equal the legacy per-category totals **exactly**
+    /// (±0). Returns a diagnostic on the first drift found.
+    pub fn check_attribution(&self) -> Result<(), String> {
+        let (mut ledger, totals) = self.with_inner(|inner| {
+            // Fold all three ledgers (unattributed, finished, open).
+            let mut ledger: Vec<(&'static str, u64, u64)> = Vec::new();
+            let mut fold = |rows: &[(&'static str, u64, u64)]| {
+                for (c, ns, n) in rows {
+                    match ledger.iter_mut().find(|(lc, _, _)| lc == c) {
+                        Some((_, t, k)) => {
+                            *t += ns;
+                            *k += n;
+                        }
+                        None => ledger.push((c, *ns, *n)),
+                    }
+                }
+            };
+            fold(inner.attr.unattributed());
+            for rec in inner.attr.finished() {
+                fold(&rec.by_category);
+            }
+            if let Some(open) = &inner.attr.current {
+                fold(&open.by_category);
+            }
+            drop(fold);
+            (ledger, inner.totals.clone())
+        });
+        ledger.sort_by_key(|r| r.0);
+        let mut expect = totals;
+        expect.sort_by_key(|r| r.0);
+        for (category, ns, count) in &expect {
+            let (got_ns, got_count) = ledger
+                .iter()
+                .find(|(c, _, _)| c == category)
+                .map(|(_, t, k)| (*t, *k))
+                .unwrap_or((0, 0));
+            if got_ns != *ns || got_count != *count {
+                return Err(format!(
+                    "attribution drift for {category}: attributed+unattributed \
+                     {got_ns} ns / {got_count} spans vs total {ns} ns / {count} spans"
+                ));
+            }
+        }
+        for (category, ns, count) in &ledger {
+            if !expect.iter().any(|(c, _, _)| c == category) {
+                return Err(format!(
+                    "attribution ledger has {category} ({ns} ns / {count} spans) \
+                     but the category totals never saw it"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Maximum number of tenants reported individually in an SLO table;
+/// tenants beyond the first `SLO_TENANTS_MAX` (in first-request order)
+/// aggregate into a single `overflow` row that preserves totals —
+/// mirroring the scheduler's per-session metrics cardinality gate.
+pub const SLO_TENANTS_MAX: usize = 64;
+
+/// One row of a per-tenant SLO table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloRow {
+    /// Tenant label: `t<id>`, or `overflow` for the aggregate row.
+    pub tenant: String,
+    /// Number of requests.
+    pub requests: u64,
+    /// End-to-end latency percentiles (nearest-rank).
+    pub p50_ns: u64,
+    /// 95th percentile end-to-end latency.
+    pub p95_ns: u64,
+    /// 99th percentile end-to-end latency.
+    pub p99_ns: u64,
+    /// 99.9th percentile end-to-end latency (per-mille nearest-rank).
+    pub p999_ns: u64,
+    /// Worst-case end-to-end latency.
+    pub max_ns: u64,
+    /// Total service time: Σ per-request critical-path length.
+    pub service_ns: u64,
+    /// Total queue/blocked time: Σ (e2e − critical path); ≥ 0 per
+    /// request by construction.
+    pub queue_ns: u64,
+}
+
+/// Builds the per-tenant SLO table from completed requests.
+///
+/// Service is each request's critical-path length
+/// ([`crate::critpath::critical_path_ns`]); queue is the end-to-end
+/// remainder. Tenants appear in first-request order; past
+/// [`SLO_TENANTS_MAX`] distinct tenants the rest collapse into one
+/// `overflow` row, so Σ row.requests and Σ row.service/queue always
+/// equal the whole-population values.
+pub fn slo_table(records: &[RequestRecord]) -> Vec<SloRow> {
+    let mut tenants: Vec<u64> = Vec::new();
+    for rec in records {
+        if !tenants.contains(&rec.tenant) {
+            tenants.push(rec.tenant);
+        }
+    }
+    let named: Vec<u64> = tenants.iter().copied().take(SLO_TENANTS_MAX).collect();
+    let overflow = tenants.len() > SLO_TENANTS_MAX;
+    let mut rows: Vec<(String, Vec<&RequestRecord>)> = named
+        .iter()
+        .map(|t| (format!("t{t}"), Vec::new()))
+        .collect();
+    if overflow {
+        rows.push(("overflow".to_string(), Vec::new()));
+    }
+    for rec in records {
+        let idx = match named.iter().position(|t| *t == rec.tenant) {
+            Some(i) => i,
+            None => rows.len() - 1,
+        };
+        rows[idx].1.push(rec);
+    }
+    rows.into_iter()
+        .map(|(tenant, recs)| {
+            let mut e2e: Vec<u64> = recs.iter().map(|r| r.e2e_ns()).collect();
+            e2e.sort_unstable();
+            let mut service_ns = 0u64;
+            let mut queue_ns = 0u64;
+            for rec in &recs {
+                let service = crate::critpath::critical_path_ns(rec);
+                service_ns += service;
+                queue_ns += rec.e2e_ns() - service;
+            }
+            SloRow {
+                tenant,
+                requests: recs.len() as u64,
+                p50_ns: percentile_sorted(&e2e, 50).unwrap_or(0),
+                p95_ns: percentile_sorted(&e2e, 95).unwrap_or(0),
+                p99_ns: percentile_sorted(&e2e, 99).unwrap_or(0),
+                p999_ns: percentile_sorted_pm(&e2e, 999).unwrap_or(0),
+                max_ns: e2e.last().copied().unwrap_or(0),
+                service_ns,
+                queue_ns,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tenant: u64, start: u64, end: u64) -> RequestRecord {
+        RequestRecord {
+            id: 1,
+            tenant,
+            name: "op".into(),
+            start_ns: start,
+            end_ns: end,
+            by_category: vec![("dma", end - start, 1)],
+            intervals: vec![ChargedInterval {
+                start_ns: start,
+                dur_ns: end - start,
+                category: "dma",
+            }],
+        }
+    }
+
+    #[test]
+    fn stage_mapping_is_total_over_event_kinds() {
+        // The 13 trace categories all land on a stage, and the stage
+        // names are distinct (they become JSON keys).
+        let cats = [
+            "mmio", "dma", "enclave-crypto", "gpu-crypto", "kernel", "ctx-switch",
+            "ipc", "init", "attestation", "security", "gpu-mem", "fault", "other",
+        ];
+        for c in cats {
+            let stage = Stage::of_category(c);
+            assert!(Stage::ALL.contains(&stage), "{c}");
+        }
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn stage_rollup_tiles_categories() {
+        let ledger = vec![("dma", 100u64, 2u64), ("ipc", 30, 3), ("mmio", 7, 1)];
+        let stages = roll_up_stages(&ledger);
+        let total: u64 = stages.iter().map(|(_, ns, _)| ns).sum();
+        assert_eq!(total, 137);
+        let channel = stages
+            .iter()
+            .find(|(s, _, _)| *s == Stage::Channel)
+            .unwrap();
+        assert_eq!((channel.1, channel.2), (37, 4), "ipc+mmio fold into channel");
+    }
+
+    #[test]
+    fn requests_attribute_and_reconcile() {
+        let obs = Obs::new();
+        obs.set_attributing(true);
+        obs.charged(0, 5, "init", "boot", &[]); // before any request
+        let id = obs.begin_request(10, 3, "memcpy_htod").expect("opens");
+        obs.charged(10, 20, "enclave-crypto", "seal", &[]);
+        obs.charged(25, 30, "dma", "HtoD", &[]);
+        obs.end_request(id, 60);
+        obs.charged(60, 2, "ipc", "teardown", &[]);
+
+        let reqs = obs.requests();
+        assert_eq!(reqs.len(), 1);
+        let r = &reqs[0];
+        assert_eq!(r.tenant, 3);
+        assert_eq!(r.e2e_ns(), 50);
+        assert_eq!(r.charged_ns(), 50);
+        assert_eq!(r.intervals.len(), 2);
+        assert_eq!(
+            obs.unattributed_totals(),
+            vec![("init", 5, 1), ("ipc", 2, 1)]
+        );
+        obs.check_attribution().expect("±0 reconciliation");
+    }
+
+    #[test]
+    fn requests_do_not_nest() {
+        let obs = Obs::new();
+        obs.set_attributing(true);
+        let outer = obs.begin_request(0, 1, "resume").expect("opens");
+        assert!(obs.begin_request(1, 1, "sync").is_none(), "inner rolls up");
+        obs.charged(2, 10, "kernel", "mul", &[]);
+        obs.end_request(outer, 20);
+        let reqs = obs.requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].name, "resume");
+        assert_eq!(reqs[0].by_category, vec![("kernel", 10, 1)]);
+    }
+
+    #[test]
+    fn disabled_attribution_accumulates_unattributed() {
+        let obs = Obs::new();
+        assert!(obs.begin_request(0, 1, "x").is_none(), "off by default");
+        obs.charged(0, 9, "dma", "d", &[]);
+        assert_eq!(obs.unattributed_totals(), vec![("dma", 9, 1)]);
+        obs.check_attribution().expect("invariant holds while disabled");
+    }
+
+    #[test]
+    fn stale_end_request_is_a_noop() {
+        let obs = Obs::new();
+        obs.set_attributing(true);
+        let a = obs.begin_request(0, 1, "a").unwrap();
+        obs.end_request(a, 5);
+        obs.end_request(a, 9); // stale: already closed
+        let b = obs.begin_request(10, 1, "b").unwrap();
+        obs.end_request(a, 12); // mismatched: b is open
+        assert_eq!(obs.requests().len(), 1, "b still open");
+        obs.end_request(b, 15);
+        assert_eq!(obs.requests().len(), 2);
+    }
+
+    #[test]
+    fn recorded_spans_carry_request_ids() {
+        let obs = Obs::new();
+        obs.set_recording(true);
+        obs.set_attributing(true);
+        let id = obs.begin_request(0, 7, "launch").unwrap();
+        obs.charged(1, 4, "kernel", "mul", &[("grid", 8)]);
+        obs.end_request(id, 10);
+        obs.charged(10, 2, "ipc", "outside", &[]);
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].category, "request");
+        assert_eq!(spans[0].name, "launch");
+        assert_eq!(spans[0].dur_ns(), 10);
+        assert!(spans[1].attrs.contains(&("req", id.value())), "{:?}", spans[1]);
+        assert!(spans[1].attrs.contains(&("grid", 8)));
+        assert_eq!(spans[1].parent, Some(0), "charged span nests under the request");
+        assert!(
+            !spans[2].attrs.iter().any(|(k, _)| *k == "req"),
+            "spans outside a request carry no req attr"
+        );
+    }
+
+    #[test]
+    fn clear_resets_attribution_but_keeps_the_flag() {
+        let obs = Obs::new();
+        obs.set_attributing(true);
+        let id = obs.begin_request(0, 1, "x").unwrap();
+        obs.charged(0, 3, "dma", "d", &[]);
+        obs.end_request(id, 4);
+        obs.clear();
+        assert!(obs.requests().is_empty());
+        assert!(obs.unattributed_totals().is_empty());
+        assert!(obs.attributing(), "clear keeps the attributing flag");
+        obs.check_attribution().expect("empty ledgers reconcile");
+    }
+
+    #[test]
+    fn slo_table_splits_queue_and_service() {
+        // Tenant 1: two requests fully charged (no queue). Tenant 2:
+        // one request with half its wall time uncharged (queue).
+        let mut r3 = rec(2, 0, 100);
+        r3.by_category = vec![("dma", 50, 1)];
+        r3.intervals = vec![ChargedInterval { start_ns: 0, dur_ns: 50, category: "dma" }];
+        let records = vec![rec(1, 0, 10), rec(1, 10, 30), r3];
+        let table = slo_table(&records);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].tenant, "t1");
+        assert_eq!(table[0].requests, 2);
+        assert_eq!(table[0].queue_ns, 0);
+        assert_eq!(table[0].service_ns, 30);
+        assert_eq!(table[0].p50_ns, 20, "sorted [10,20][1]");
+        assert_eq!(table[1].tenant, "t2");
+        assert_eq!(table[1].service_ns, 50);
+        assert_eq!(table[1].queue_ns, 50);
+        assert_eq!(table[1].p999_ns, 100);
+    }
+
+    #[test]
+    fn slo_table_overflow_row_preserves_totals() {
+        let records: Vec<RequestRecord> = (0..(SLO_TENANTS_MAX as u64 + 10))
+            .map(|t| rec(t, 0, 10 + t))
+            .collect();
+        let table = slo_table(&records);
+        assert_eq!(table.len(), SLO_TENANTS_MAX + 1);
+        assert_eq!(table.last().unwrap().tenant, "overflow");
+        assert_eq!(table.last().unwrap().requests, 10);
+        let total: u64 = table.iter().map(|r| r.requests).sum();
+        assert_eq!(total, records.len() as u64, "no request lost to the gate");
+        let service: u64 = table.iter().map(|r| r.service_ns).sum();
+        let expect: u64 = records
+            .iter()
+            .map(crate::critpath::critical_path_ns)
+            .sum();
+        assert_eq!(service, expect);
+    }
+}

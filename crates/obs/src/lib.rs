@@ -35,10 +35,17 @@
 
 #![warn(missing_docs)]
 
+pub mod attr;
+pub mod critpath;
 pub mod export;
 pub mod metrics;
 mod span;
 
+pub use attr::{
+    roll_up_stages, slo_table, ChargedInterval, RequestId, RequestRecord, SloRow, Stage,
+    SLO_TENANTS_MAX,
+};
+pub use critpath::{critical_chain, critical_path_ns, folded_stacks};
 pub use export::{chrome_trace_json, phase_table};
 pub use metrics::{Hist, Metrics, COUNT_BOUNDS, LATENCY_BOUNDS_NS};
 pub use span::{Obs, Span, SpanId};
@@ -59,6 +66,24 @@ pub fn percentile_sorted(sorted: &[u64], pct: u32) -> Option<u64> {
         return None;
     }
     let idx = (sorted.len() * pct as usize / 100).min(sorted.len() - 1);
+    Some(sorted[idx])
+}
+
+/// Per-mille variant of [`percentile_sorted`] for tail percentiles the
+/// percent grid cannot express: `pm` 999 is p99.9, 500 the median.
+/// Same nearest-rank convention, `sorted[(len * pm / 1000).min(len - 1)]`
+/// on an already **sorted** slice; `None` on an empty one.
+///
+/// ```
+/// let v: Vec<u64> = (0..2000).collect();
+/// assert_eq!(hix_obs::percentile_sorted_pm(&v, 999), Some(1998));
+/// assert_eq!(hix_obs::percentile_sorted_pm(&v, 500), hix_obs::percentile_sorted(&v, 50));
+/// ```
+pub fn percentile_sorted_pm(sorted: &[u64], pm: u32) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = (sorted.len() * pm as usize / 1000).min(sorted.len() - 1);
     Some(sorted[idx])
 }
 
@@ -92,6 +117,30 @@ mod tests {
             assert_eq!(percentile_sorted(&v, 0), Some(0));
             assert_eq!(percentile_sorted(&v, 100), Some(len as u64 - 1));
         }
+    }
+
+    #[test]
+    fn per_mille_percentile_agrees_with_percent_grid() {
+        for len in 1..40usize {
+            let v: Vec<u64> = (0..len as u64).collect();
+            for pct in [0u32, 50, 95, 100] {
+                assert_eq!(
+                    percentile_sorted_pm(&v, pct * 10),
+                    percentile_sorted(&v, pct),
+                    "len {len} pct {pct}"
+                );
+            }
+            assert_eq!(
+                percentile_sorted_pm(&v, 999),
+                Some(v[(len * 999 / 1000).min(len - 1)])
+            );
+        }
+        assert_eq!(percentile_sorted_pm(&[], 999), None);
+        // p99.9 only separates from p99 past 1000 samples — the whole
+        // point of the per-mille grid for 10k-session tails.
+        let v: Vec<u64> = (0..10_000).collect();
+        assert_eq!(percentile_sorted_pm(&v, 990), Some(9_900));
+        assert_eq!(percentile_sorted_pm(&v, 999), Some(9_990));
     }
 
     #[test]

@@ -56,16 +56,18 @@ impl Span {
 }
 
 #[derive(Debug, Default)]
-struct ObsInner {
-    spans: Vec<Span>,
+pub(crate) struct ObsInner {
+    pub(crate) spans: Vec<Span>,
     /// Stack of indices of open structural spans (single thread of
     /// execution — matches the simulator's determinism model).
-    open: Vec<u32>,
-    recording: bool,
+    pub(crate) open: Vec<u32>,
+    pub(crate) recording: bool,
     /// Per-category charged totals: `(category, total_ns, count)` in
     /// first-charge order. Always maintained, even when span recording
     /// is off, so accounting stays cheap and exact.
-    totals: Vec<(&'static str, u64, u64)>,
+    pub(crate) totals: Vec<(&'static str, u64, u64)>,
+    /// Request-scoped attribution ledgers (see [`crate::attr`]).
+    pub(crate) attr: crate::attr::AttrState,
 }
 
 /// The shared, cheaply clonable span collector.
@@ -88,6 +90,13 @@ impl Obs {
     /// The metrics registry riding along with this collector.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Runs `f` with the inner state mutably borrowed (crate-internal:
+    /// the attribution module lives in `attr.rs` but shares this
+    /// collector's state). `f` must not call back into `Obs` methods.
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&mut ObsInner) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
     }
 
     /// Enables or disables full span recording.
@@ -120,9 +129,14 @@ impl Obs {
             }
             None => inner.totals.push((category, dur_ns, 1)),
         }
+        inner.attr.on_charged(start_ns, dur_ns, category);
         self.metrics.observe_span_latency(category, dur_ns);
         if inner.recording {
             let parent = inner.open.last().copied();
+            let mut attrs = attrs.to_vec();
+            if let Some(req) = inner.attr.current_id() {
+                attrs.push(("req", req));
+            }
             inner.spans.push(Span {
                 parent,
                 category,
@@ -130,7 +144,7 @@ impl Obs {
                 start_ns,
                 end_ns: start_ns + dur_ns,
                 charged: true,
-                attrs: attrs.to_vec(),
+                attrs,
             });
         }
     }
@@ -253,12 +267,14 @@ impl Obs {
         out
     }
 
-    /// Clears spans, totals, the open stack, and all metrics.
+    /// Clears spans, totals, the open stack, the attribution ledgers,
+    /// and all metrics (the recording and attributing flags survive).
     pub fn clear(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.spans.clear();
         inner.open.clear();
         inner.totals.clear();
+        inner.attr.clear();
         self.metrics.clear();
     }
 }

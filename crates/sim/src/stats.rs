@@ -76,6 +76,23 @@ impl Samples {
         self.percentile(95)
     }
 
+    /// 99th-percentile sample (zero if empty).
+    pub fn p99(&self) -> Nanos {
+        self.percentile(99)
+    }
+
+    /// 99.9th-percentile sample (zero if empty) — per-mille nearest
+    /// rank via [`hix_obs::percentile_sorted_pm`]; only separates from
+    /// [`Samples::p99`] past 1000 samples, which is exactly the
+    /// 10k-session tail it exists to expose.
+    pub fn p999(&self) -> Nanos {
+        let mut sorted: Vec<u64> = self.values.iter().map(|v| v.as_nanos()).collect();
+        sorted.sort_unstable();
+        hix_obs::percentile_sorted_pm(&sorted, 999)
+            .map(Nanos::from_nanos)
+            .unwrap_or(Nanos::ZERO)
+    }
+
     /// Maximum sample (zero if empty).
     pub fn max(&self) -> Nanos {
         self.values.iter().copied().max().unwrap_or(Nanos::ZERO)
@@ -156,6 +173,16 @@ mod tests {
         assert_eq!(s.p95().as_nanos(), 100, "sorted[(10*95/100).min(9)]");
         assert_eq!(s.percentile(0), s.min());
         assert_eq!(s.percentile(100), s.max());
+    }
+
+    #[test]
+    fn tail_percentiles_separate_past_a_thousand_samples() {
+        let small: Samples = (1..=10u64).map(Nanos::from_nanos).collect();
+        assert_eq!(small.p99(), small.p999(), "coarse grid below 1k samples");
+        let big: Samples = (1..=10_000u64).map(Nanos::from_nanos).collect();
+        assert_eq!(big.p99().as_nanos(), 9_901);
+        assert_eq!(big.p999().as_nanos(), 9_991, "p99.9 exposes the deeper tail");
+        assert_eq!(Samples::new().p999(), Nanos::ZERO);
     }
 
     #[test]

@@ -88,6 +88,12 @@ impl EventKind {
     pub fn from_category(category: &str) -> Option<EventKind> {
         EventKind::ALL.into_iter().find(|k| k.as_str() == category)
     }
+
+    /// The pipeline stage this kind's charges roll up into in
+    /// per-request attribution reports (see [`hix_obs::attr::Stage`]).
+    pub fn stage(self) -> hix_obs::Stage {
+        hix_obs::Stage::of_category(self.as_str())
+    }
 }
 
 impl fmt::Display for EventKind {

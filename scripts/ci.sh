@@ -52,6 +52,20 @@ cmp target/scale-a.json target/scale-b.json
 cargo run -q --release --offline -p hix-bench --bin scale_report -- --check target/scale-a.json
 cargo run -q --release --offline -p hix-bench --bin scale_report -- --check BENCH_scale.json
 
+# Serving-path attribution smoke: 4 tenants x {none, light, heavy}
+# fault profiles with request attribution and span recording on. The
+# bin self-checks the reconciliation invariant (attributed +
+# unattributed charge == the per-category accumulator, +-0), that every
+# request's critical path fits inside its end-to-end window, and
+# same-seed determinism; here we additionally pin cross-invocation
+# stability and that the emitted file passes --check, as must the
+# committed full-sweep BENCH_perf.json baseline.
+cargo run -q --release --offline -p hix-bench --bin perf_report -- --smoke target/perf-a.json
+cargo run -q --release --offline -p hix-bench --bin perf_report -- --smoke target/perf-b.json
+cmp target/perf-a.json target/perf-b.json
+cargo run -q --release --offline -p hix-bench --bin perf_report -- --check target/perf-a.json
+cargo run -q --release --offline -p hix-bench --bin perf_report -- --check BENCH_perf.json
+
 # Table 2 re-runs the attack-scenario suite and the per-crate TCB LoC
 # accounting (non-fatal here: the test suite above already gates it).
 cargo run -q --release --offline -p hix-bench --bin table2_tcb 2>/dev/null || true

@@ -1,7 +1,7 @@
 //! Pinned-tape property suite for the weighted-fair scheduler
 //! ([`hix_core::sched::FairQueue`]) and the sealed-state parking path.
 //!
-//! Four properties, matching the invariants the scheduler's module docs
+//! Five properties, matching the invariants the scheduler's module docs
 //! promise:
 //!
 //! 1. a session's deficit (virtual lead over the floor) is never
@@ -12,14 +12,22 @@
 //!    of each other — weights are respected at slice granularity;
 //! 4. parking a live session (seal out of the resident set) and
 //!    resuming it round-trips device state byte-identically, through
-//!    fresh keys and a journal replay.
+//!    fresh keys and a journal replay;
+//! 5. the per-session metrics cardinality gate never loses counts:
+//!    for arbitrary populations straddling the gate, named counters
+//!    plus the overflow bucket tile the aggregate totals exactly.
 //!
 //! Runs on the in-tree `hix-testkit` harness.
 
+use hix_core::multiuser::{
+    run_scaled, seeded_session_faults, FaultProfile, Mode, SchedulerConfig, SessionSpec, TaskSpec,
+    PER_SESSION_METRICS_MAX,
+};
 use hix_core::sched::{FairQueue, SlotId, VT_SCALE};
 use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
 use hix_driver::rig::{standard_rig, RigOptions};
-use hix_sim::{Nanos, Payload};
+use hix_obs::Metrics;
+use hix_sim::{CostModel, Nanos, Payload};
 use hix_testkit::prop::{prop, Source};
 
 const SEEDS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/proptest_scheduler.seeds");
@@ -188,6 +196,77 @@ fn backlogged_weights_are_respected_within_one_quantum() {
                 "normalized service spread {spread} exceeds one quantum bound {bound} \
                  (weights {:?})",
                 ids.iter().map(|&id| q.weight(id)).collect::<Vec<_>>()
+            );
+        });
+}
+
+#[test]
+fn metrics_cardinality_gate_loses_no_counts() {
+    prop("metrics_cardinality_gate_loses_no_counts")
+        .cases(32)
+        .corpus(SEEDS)
+        .run(|s| {
+            // Populations on both sides of the gate, biased to straddle
+            // it: the overflow bucket must tile totals exactly whenever
+            // it exists and never be minted when it doesn't.
+            let users = if s.bool() {
+                PER_SESSION_METRICS_MAX + s.usize_in(1..48)
+            } else {
+                s.usize_in(1..PER_SESSION_METRICS_MAX + 1)
+            };
+            let model = CostModel::paper();
+            let profile = match s.choice(3) {
+                0 => FaultProfile::None,
+                1 => FaultProfile::Light,
+                _ => FaultProfile::Heavy,
+            };
+            let faults = seeded_session_faults(s.u64(), users, profile);
+            let sessions: Vec<SessionSpec> = faults
+                .into_iter()
+                .map(|f| {
+                    let mut spec = SessionSpec::new(TaskSpec {
+                        name: "prop".into(),
+                        htod: s.in_range(1..(8 << 20)),
+                        dtoh: s.in_range(1..(4 << 20)),
+                        kernel_time: Nanos::from_micros(s.in_range(10..5_000)),
+                        launches: s.in_range(1..4),
+                    });
+                    spec.weight = s.in_range(1..65) as u32;
+                    spec.faults = f;
+                    spec
+                })
+                .collect();
+            let mut cfg = SchedulerConfig::new(&model);
+            if s.bool() {
+                cfg.max_resident = s.usize_in(1..users + 1);
+            }
+            let m = Metrics::new();
+            let out = run_scaled(&model, &sessions, Mode::Hix, &cfg, Some(&m));
+
+            let gated = users.min(PER_SESSION_METRICS_MAX);
+            let named_service: u64 =
+                (0..gated).map(|i| m.counter(&format!("sched.s{i}.service_ns"))).sum();
+            let named_wait: u64 =
+                (0..gated).map(|i| m.counter(&format!("sched.s{i}.wait_ns"))).sum();
+            assert_eq!(
+                named_service + m.counter("sched.overflow.service_ns"),
+                m.counter("sched.service_ns"),
+                "named + overflow service must tile the aggregate"
+            );
+            assert_eq!(
+                named_wait + m.counter("sched.overflow.wait_ns"),
+                out.gpu_wait.iter().map(|w| w.as_nanos()).sum::<u64>(),
+                "named + overflow wait must tile the per-tenant outcome"
+            );
+            assert_eq!(
+                m.counter("sched.overflow.sessions"),
+                users.saturating_sub(PER_SESSION_METRICS_MAX) as u64,
+                "overflow population is exactly the tail past the gate"
+            );
+            assert_eq!(
+                m.counter(&format!("sched.s{}.service_ns", PER_SESSION_METRICS_MAX)),
+                0,
+                "no per-session counter is minted past the gate"
             );
         });
 }

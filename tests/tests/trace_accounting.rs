@@ -304,6 +304,60 @@ fn span_accounting_reconciles_with_legacy_totals() {
 }
 
 #[test]
+fn request_attribution_reconciles_on_the_real_stack() {
+    // The request attributor is a second view over the same charges:
+    // with attribution (and faults) on, attributed + unattributed must
+    // equal the category accumulator exactly, every request's critical
+    // path must fit inside its end-to-end window, and the SLO table
+    // must tile the request population.
+    use hix_sim::fault::{FaultConfig, FaultPlan};
+    let mut m = standard_rig(RigOptions {
+        kernels: all_kernels(),
+        ..RigOptions::default()
+    });
+    m.set_fault_plan(FaultPlan::new(0xA77B, FaultConfig::heavy()));
+    m.trace().obs().set_attributing(true);
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+    MatrixMul
+        .run(&mut m, &mut HixExec::new(&mut s, &mut enclave), MatrixMul.test_size())
+        .unwrap();
+    s.close(&mut m, &mut enclave).unwrap();
+
+    let obs = m.trace().obs();
+    obs.check_attribution().expect("attribution reconciles +-0");
+    let requests = obs.requests();
+    assert!(requests.len() >= 4, "connect + transfers + launch + close");
+    for rec in &requests {
+        let path = hix_obs::critical_path_ns(rec);
+        assert!(
+            path <= rec.e2e_ns(),
+            "critical path {} ns exceeds e2e {} ns for {}",
+            path,
+            rec.e2e_ns(),
+            rec.name
+        );
+    }
+    // Something must actually be charged inside requests: the secure
+    // transfers charge crypto and DMA to their own request windows.
+    assert!(
+        requests.iter().any(|r| r.charged_ns() > 0),
+        "no request accumulated any charge"
+    );
+    let slo = hix_obs::slo_table(&requests);
+    assert_eq!(
+        slo.iter().map(|r| r.requests).sum::<u64>(),
+        requests.len() as u64,
+        "SLO rows must tile the request population"
+    );
+    // Attribution off (the default) keeps begin_request inert: the
+    // unattributed ledger still reconciles on a fresh machine.
+    let m2 = standard_rig(RigOptions::default());
+    assert!(m2.trace().obs().begin_request(0, 1, "noop").is_none());
+    m2.trace().obs().check_attribution().expect("reconciles while disabled");
+}
+
+#[test]
 fn security_events_fire_on_lockdown_and_denials() {
     let mut m = standard_rig(RigOptions::default());
     m.trace().clear();
