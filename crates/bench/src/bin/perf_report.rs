@@ -1,11 +1,16 @@
 //! Perf-trajectory report for the serving path: request-level latency
 //! attribution, per-tenant SLO tables, and the critical-path profiler,
-//! swept across fault profiles. Four tenants serve a seeded round-robin
-//! op mix (transfers, kernels, memsets) through the full HIX stack with
-//! span recording and request attribution on; the report prints the
-//! per-stage attribution and SLO tables behind EXPERIMENTS.md, emits
-//! `BENCH_perf.json` (the serving-path perf-trajectory file) plus a
-//! folded-stacks flamegraph export, and self-checks every cell:
+//! swept across fault profiles — each profile in *both* submission
+//! engines. Four tenants serve a seeded round-robin op mix (one
+//! transfer, six compute-plane fillers, a kernel, a sync per round)
+//! through the full HIX stack with span recording and request
+//! attribution on, once via the synchronous wrappers (one channel wake
+//! per op) and once via explicit batch-8 submission rings; the report
+//! prints the per-stage attribution, SLO, and doorbell-amortization
+//! tables behind EXPERIMENTS.md, emits `BENCH_perf.json` (the
+//! serving-path perf-trajectory file, now with a `batched` column per
+//! profile) plus a folded-stacks flamegraph export, and self-checks
+//! every cell:
 //!
 //! * **reconciliation (±0)** — attributed + unattributed charged time
 //!   equals the legacy per-category accumulator exactly, and the stage
@@ -13,7 +18,12 @@
 //! * **critical path ≤ e2e** — every request's longest charged chain
 //!   fits inside its end-to-end window (so queue = e2e − service ≥ 0);
 //! * **determinism** — same-seed reruns are byte-identical in requests,
-//!   snapshot, and emitted JSON.
+//!   snapshot, and emitted JSON;
+//! * **engine equivalence** — batched and sync runs of a profile
+//!   return byte-identical GPU results;
+//! * **amortization** — on the clean profile batching cuts channel
+//!   wakes per queued op by ≥ 4× at batch size 8, with a p99
+//!   end-to-end command latency no worse than sync.
 //!
 //! Usage:
 //!   perf_report [OUT.json [FOLDED.txt]]    full sweep
@@ -27,7 +37,7 @@
 use std::fmt::Write as _;
 
 use hix_bench::json::{parse_json, Json};
-use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_core::{CmdStatus, GpuEnclave, GpuEnclaveOptions, HixSession};
 use hix_driver::rig::{standard_rig, RigOptions};
 use hix_obs::{
     critical_chain, critical_path_ns, fmt_ns, folded_stacks, roll_up_stages, RequestRecord,
@@ -43,6 +53,12 @@ const SEED: u64 = 11;
 const TENANTS: u64 = 4;
 /// Matrix dimension of the kernel work (24×24 i32, multi-message).
 const N: u64 = 24;
+/// Compute-plane fillers per round; with the transfer, launch, and
+/// sync the queueable stretch is 9 ops — two batch-8 frames, versus 9
+/// doorbell rings for one-wake-per-op sync.
+const FILLERS: usize = 6;
+/// Queueable ops per tenant round (htod + fillers + launch + sync).
+const MIX_OPS: u64 = FILLERS as u64 + 3;
 
 fn fail(msg: &str) -> ! {
     eprintln!("perf_report: FAILED: {msg}");
@@ -57,7 +73,7 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One profile's worth of serving-path evidence.
+/// One (profile, engine) cell's worth of serving-path evidence.
 struct Cell {
     profile: &'static str,
     requests: Vec<RequestRecord>,
@@ -72,9 +88,28 @@ struct Cell {
     longest_op: String,
     snapshot: String,
     folded: String,
+    /// Every round's DtoH result bytes — the engine-equivalence oracle.
+    results: Vec<Vec<u8>>,
+    /// Channel wakes accumulated inside the queueable stretches only
+    /// (barrier ops ring the doorbell identically in both engines).
+    mix_wakes: u64,
+    /// Queueable ops across the run (`MIX_OPS` × tenants × rounds).
+    mix_ops: u64,
+    /// Submission frames served inside the queueable stretches (the
+    /// synchronous wrappers ride single-command frames).
+    frames: u64,
+    /// p99 end-to-end request latency across the whole cell.
+    p99_ns: u64,
 }
 
-fn run_cell(profile: &'static str, cfg: Option<FaultConfig>, rounds: u32) -> Cell {
+/// p99 over every request's end-to-end window (nearest-rank).
+fn p99_e2e(requests: &[RequestRecord]) -> u64 {
+    let mut v: Vec<u64> = requests.iter().map(RequestRecord::e2e_ns).collect();
+    v.sort_unstable();
+    v[((v.len() * 99).div_ceil(100)).saturating_sub(1)]
+}
+
+fn run_cell(profile: &'static str, cfg: Option<FaultConfig>, rounds: u32, batched: bool) -> Cell {
     let mut m = standard_rig(RigOptions {
         kernels: all_kernels(),
         ..RigOptions::default()
@@ -106,30 +141,84 @@ fn run_cell(profile: &'static str, cfg: Option<FaultConfig>, rounds: u32) -> Cel
         .collect();
 
     // Seeded round-robin op mix: every tenant serves `rounds` requests
-    // of htod → (memset | dtod | nothing) → launch → sync → dtoh, with
-    // the filler drawn from a splitmix stream so profiles share the
-    // exact op tape (the fault plan has its own stream).
+    // of htod → 6 compute fillers (memset | dtod) → launch → sync →
+    // dtoh, with fillers drawn from a splitmix stream so profiles and
+    // engines share the exact op tape (the fault plan has its own
+    // stream). The queueable stretch is metered for channel wakes; the
+    // dtoh barrier sits outside it (it costs one wake in both engines).
     let mut rng = SEED ^ 0x5EC5_E55A;
+    let mut results = Vec::new();
+    let mut mix_wakes = 0u64;
+    let mut mix_frames = 0u64;
+    let mut mix_ops = 0u64;
     for round in 0..rounds {
         for (t, s) in sessions.iter_mut().enumerate() {
             let [a, b, c] = bufs[t];
             let input: Vec<u8> = (0..bytes)
                 .map(|i| (splitmix64(&mut rng) ^ i ^ round as u64) as u8)
                 .collect();
-            s.memcpy_htod(&mut m, &mut enclave, a, &Payload::from_bytes(input))
-                .expect("htod");
-            match splitmix64(&mut rng) % 3 {
-                0 => s.memset(&mut m, &mut enclave, b, bytes, 0x2A).expect("memset"),
-                1 => s.memcpy_dtod(&mut m, &mut enclave, a, b, bytes).expect("dtod"),
-                _ => {}
-            }
-            s.launch(&mut m, &mut enclave, "matrix.mul", &[a.value(), b.value(), c.value(), N])
+            let fillers: Vec<bool> =
+                (0..FILLERS).map(|_| splitmix64(&mut rng) % 2 == 0).collect();
+            let wakes0 = m.trace().metrics().counter("cmdq.wakes");
+            let frames0 = m.trace().metrics().counter("cmdq.frames");
+            if batched {
+                let mut ids = Vec::new();
+                ids.push(
+                    s.submit_htod(&mut m, &mut enclave, a, &Payload::from_bytes(input))
+                        .expect("htod"),
+                );
+                for &memset in &fillers {
+                    ids.push(if memset {
+                        s.submit_memset(&mut m, &mut enclave, b, bytes, 0x2A).expect("memset")
+                    } else {
+                        s.submit_dtod(&mut m, &mut enclave, a, b, bytes).expect("dtod")
+                    });
+                }
+                ids.push(
+                    s.submit_launch(&mut m, &mut enclave, "matrix.mul", &[
+                        a.value(),
+                        b.value(),
+                        c.value(),
+                        N,
+                    ])
+                    .expect("launch"),
+                );
+                ids.push(s.submit_sync(&mut m, &mut enclave).expect("sync"));
+                s.flush(&mut m, &mut enclave).expect("flush");
+                let comps = s.take_completions();
+                if comps.iter().map(|(id, _)| *id).collect::<Vec<_>>() != ids {
+                    fail(&format!("{profile}: tenant {t} round {round}: non-FIFO completions"));
+                }
+                if comps.iter().any(|(_, st)| *st != CmdStatus::Ok) {
+                    fail(&format!("{profile}: tenant {t} round {round}: command failed"));
+                }
+            } else {
+                s.memcpy_htod(&mut m, &mut enclave, a, &Payload::from_bytes(input))
+                    .expect("htod");
+                for &memset in &fillers {
+                    if memset {
+                        s.memset(&mut m, &mut enclave, b, bytes, 0x2A).expect("memset");
+                    } else {
+                        s.memcpy_dtod(&mut m, &mut enclave, a, b, bytes).expect("dtod");
+                    }
+                }
+                s.launch(&mut m, &mut enclave, "matrix.mul", &[
+                    a.value(),
+                    b.value(),
+                    c.value(),
+                    N,
+                ])
                 .expect("launch");
-            s.sync(&mut m, &mut enclave).expect("sync");
+                s.sync(&mut m, &mut enclave).expect("sync");
+            }
+            mix_wakes += m.trace().metrics().counter("cmdq.wakes") - wakes0;
+            mix_frames += m.trace().metrics().counter("cmdq.frames") - frames0;
+            mix_ops += MIX_OPS;
             let out = s.memcpy_dtoh(&mut m, &mut enclave, c, bytes).expect("dtoh");
             if out.bytes().len() as u64 != bytes {
                 fail(&format!("{profile}: tenant {t} round {round}: short dtoh"));
             }
+            results.push(out.bytes().to_vec());
         }
     }
     for s in sessions.drain(..) {
@@ -201,13 +290,18 @@ fn run_cell(profile: &'static str, cfg: Option<FaultConfig>, rounds: u32) -> Cel
         longest_op,
         snapshot: obs.snapshot(),
         folded: folded_stacks(&obs.spans(), "hix"),
+        results,
+        mix_wakes,
+        mix_ops,
+        frames: mix_frames,
+        p99_ns: p99_e2e(&requests),
         requests,
     }
 }
 
 // ---- JSON emit (stable key order) ----
 
-fn emit_json(cells: &[Cell], rounds: u32) -> String {
+fn emit_json(cells: &[(Cell, Cell)], rounds: u32) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"perf_report\",");
@@ -215,7 +309,7 @@ fn emit_json(cells: &[Cell], rounds: u32) -> String {
     let _ = writeln!(s, "  \"tenants\": {TENANTS},");
     let _ = writeln!(s, "  \"rounds\": {rounds},");
     s.push_str("  \"profiles\": [\n");
-    for (i, c) in cells.iter().enumerate() {
+    for (i, (c, batched)) in cells.iter().enumerate() {
         let e2e: u64 = c.requests.iter().map(RequestRecord::e2e_ns).sum();
         let service: u64 = c.slo.iter().map(|r| r.service_ns).sum();
         let queue: u64 = c.slo.iter().map(|r| r.queue_ns).sum();
@@ -225,6 +319,17 @@ fn emit_json(cells: &[Cell], rounds: u32) -> String {
         let _ = writeln!(s, "     \"e2e_ns\": {e2e},");
         let _ = writeln!(s, "     \"service_ns\": {service},");
         let _ = writeln!(s, "     \"queue_ns\": {queue},");
+        let _ = writeln!(s, "     \"p99_ns\": {},", c.p99_ns);
+        let _ = writeln!(s, "     \"mix_ops\": {},", c.mix_ops);
+        let _ = writeln!(s, "     \"wakes\": {},", c.mix_wakes);
+        let _ = writeln!(
+            s,
+            "     \"batched\": {{\"wakes\": {}, \"frames\": {}, \"p99_ns\": {}, \"requests\": {}}},",
+            batched.mix_wakes,
+            batched.frames,
+            batched.p99_ns,
+            batched.requests.len(),
+        );
         let _ = writeln!(s, "     \"longest_critical_path_ns\": {},", c.longest_ns);
         let _ = writeln!(s, "     \"unattributed_ns\": {},", c.unattributed_ns);
         s.push_str("     \"stages\": [\n");
@@ -263,18 +368,25 @@ fn emit_json(cells: &[Cell], rounds: u32) -> String {
 // ---- JSON check ----
 
 /// Required keys of each profile, in emission order.
-const PROFILE_KEYS: [&str; 10] = [
+const PROFILE_KEYS: [&str; 14] = [
     "profile",
     "requests",
     "makespan_ns",
     "e2e_ns",
     "service_ns",
     "queue_ns",
+    "p99_ns",
+    "mix_ops",
+    "wakes",
+    "batched",
     "longest_critical_path_ns",
     "unattributed_ns",
     "stages",
     "slo",
 ];
+
+/// Required keys of the nested batched-engine column.
+const BATCHED_KEYS: [&str; 4] = ["wakes", "frames", "p99_ns", "requests"];
 
 /// Required keys of each SLO row, in emission order.
 const SLO_KEYS: [&str; 9] = [
@@ -342,6 +454,50 @@ fn check_file(path: &str) {
         if num(p.get("longest_critical_path_ns").unwrap(), "longest_critical_path_ns") > e2e {
             fail(&format!("{path}: {tag}: longest critical path exceeds total e2e"));
         }
+        // The batched column: stable keys, strictly fewer wakes than
+        // one-per-op sync on every profile, and on the clean profile
+        // the ≥4× amortization and p99-no-worse acceptance gates.
+        let Some(batched) = p.get("batched") else {
+            fail(&format!("{path}: {tag}: missing batched column"));
+        };
+        let Some(bfields) = batched.as_obj() else {
+            fail(&format!("{path}: {tag}: batched is not an object"));
+        };
+        let bkeys: Vec<&str> = bfields.iter().map(|(k, _)| k.as_str()).collect();
+        if bkeys != BATCHED_KEYS {
+            fail(&format!("{path}: {tag}: batched column has unstable keys {bkeys:?}"));
+        }
+        let wakes = num(p.get("wakes").unwrap(), "wakes");
+        let mix_ops = num(p.get("mix_ops").unwrap(), "mix_ops");
+        let b_wakes = num(batched.get("wakes").unwrap(), "batched wakes");
+        let b_frames = num(batched.get("frames").unwrap(), "batched frames");
+        num(batched.get("requests").unwrap(), "batched requests");
+        if mix_ops <= 0.0 {
+            fail(&format!("{path}: {tag}: empty op mix"));
+        }
+        if b_wakes >= wakes {
+            fail(&format!(
+                "{path}: {tag}: batching did not reduce wakes ({b_wakes} vs {wakes})"
+            ));
+        }
+        if b_frames <= 0.0 || b_wakes < b_frames {
+            fail(&format!("{path}: {tag}: batched frame ledger inconsistent"));
+        }
+        if tag == "none" {
+            if b_wakes * 4.0 > wakes {
+                fail(&format!(
+                    "{path}: {tag}: amortization below 4x ({b_wakes} vs {wakes} wakes \
+                     over {mix_ops} ops)"
+                ));
+            }
+            let p99 = num(p.get("p99_ns").unwrap(), "p99_ns");
+            let b_p99 = num(batched.get("p99_ns").unwrap(), "batched p99_ns");
+            if b_p99 > p99 {
+                fail(&format!(
+                    "{path}: {tag}: batched p99 {b_p99} ns regressed past sync {p99} ns"
+                ));
+            }
+        }
         let stages = p.get("stages").and_then(Json::as_arr).unwrap_or(&[]);
         let got: Vec<&str> = stages
             .iter()
@@ -388,11 +544,11 @@ fn check_file(path: &str) {
 
 // ---- tables ----
 
-fn print_cells(cells: &[Cell]) {
+fn print_cells(cells: &[(Cell, Cell)]) {
     println!("# Serving-path attribution ({TENANTS} tenants, seed {SEED})\n");
     println!("| profile | requests | e2e | service | queue | longest critical path | unattributed |");
     println!("|---------|---------:|----:|--------:|------:|-----------------------|-------------:|");
-    for c in cells {
+    for (c, _) in cells {
         let e2e: u64 = c.requests.iter().map(RequestRecord::e2e_ns).sum();
         let service: u64 = c.slo.iter().map(|r| r.service_ns).sum();
         let queue: u64 = c.slo.iter().map(|r| r.queue_ns).sum();
@@ -408,7 +564,28 @@ fn print_cells(cells: &[Cell]) {
             fmt_ns(c.unattributed_ns),
         );
     }
-    for c in cells {
+    println!("\n## Doorbell amortization — sync vs batch-8 submission\n");
+    println!(
+        "| profile | ops | sync wakes | batched wakes | wakes/op sync | wakes/op batched | reduction | p99 sync | p99 batched |"
+    );
+    println!(
+        "|---------|----:|-----------:|--------------:|--------------:|-----------------:|----------:|---------:|------------:|"
+    );
+    for (c, b) in cells {
+        println!(
+            "| {} | {} | {} | {} | {:.2} | {:.2} | {:.1}x | {} | {} |",
+            c.profile,
+            c.mix_ops,
+            c.mix_wakes,
+            b.mix_wakes,
+            c.mix_wakes as f64 / c.mix_ops as f64,
+            b.mix_wakes as f64 / b.mix_ops as f64,
+            c.mix_wakes as f64 / b.mix_wakes as f64,
+            fmt_ns(c.p99_ns),
+            fmt_ns(b.p99_ns),
+        );
+    }
+    for (c, _) in cells {
         println!("\n## {} — per-stage attribution\n", c.profile);
         println!("| stage | charged | spans |");
         println!("|-------|--------:|------:|");
@@ -461,17 +638,51 @@ fn main() {
     ];
     let mut cells = Vec::new();
     for (tag, cfg) in profiles {
-        let cell = run_cell(tag, cfg.clone(), rounds);
-        // Same-seed determinism: requests, snapshot, and folded stacks
-        // must replay byte-identically.
-        let again = run_cell(tag, cfg, rounds);
-        if cell.requests != again.requests
-            || cell.snapshot != again.snapshot
-            || cell.folded != again.folded
-        {
-            fail(&format!("{tag}: rerun diverged"));
+        let mut engines = Vec::new();
+        for batched in [false, true] {
+            let cell = run_cell(tag, cfg.clone(), rounds, batched);
+            // Same-seed determinism: requests, snapshot, and folded
+            // stacks must replay byte-identically — in both engines.
+            let again = run_cell(tag, cfg.clone(), rounds, batched);
+            if cell.requests != again.requests
+                || cell.snapshot != again.snapshot
+                || cell.folded != again.folded
+            {
+                fail(&format!("{tag} (batched={batched}): rerun diverged"));
+            }
+            engines.push(cell);
         }
-        cells.push(cell);
+        let batched = engines.pop().unwrap();
+        let cell = engines.pop().unwrap();
+        // Engine equivalence: the batched rings must not change a
+        // single result byte, on any fault profile.
+        if cell.results != batched.results {
+            fail(&format!("{tag}: batched engine changed GPU results"));
+        }
+        if batched.mix_wakes >= cell.mix_wakes {
+            fail(&format!(
+                "{tag}: batching did not reduce wakes ({} vs {})",
+                batched.mix_wakes, cell.mix_wakes
+            ));
+        }
+        if tag == "none" {
+            // The acceptance gates, checked live before emission: ≥4×
+            // fewer doorbell rings per queued op at batch size 8, and
+            // a p99 end-to-end latency no worse than sync.
+            if batched.mix_wakes * 4 > cell.mix_wakes {
+                fail(&format!(
+                    "{tag}: amortization below 4x ({} vs {} wakes over {} ops)",
+                    batched.mix_wakes, cell.mix_wakes, cell.mix_ops
+                ));
+            }
+            if batched.p99_ns > cell.p99_ns {
+                fail(&format!(
+                    "{tag}: batched p99 {} ns regressed past sync {} ns",
+                    batched.p99_ns, cell.p99_ns
+                ));
+            }
+        }
+        cells.push((cell, batched));
     }
 
     print_cells(&cells);
@@ -487,7 +698,7 @@ fn main() {
     }
     if let Some(folded_path) = &folded_path {
         // The heavy profile has the richest stacks (recovery frames).
-        if let Err(e) = std::fs::write(folded_path, &cells.last().unwrap().folded) {
+        if let Err(e) = std::fs::write(folded_path, &cells.last().unwrap().0.folded) {
             fail(&format!("cannot write {folded_path}: {e}"));
         }
         println!("\nperf_report: wrote folded stacks to {folded_path}");

@@ -480,6 +480,9 @@ impl Endpoint {
     pub fn send_request(&mut self, machine: &mut Machine, body: &[u8]) -> Result<(), ChannelError> {
         self.req_id += 1;
         self.last_request = Some(body.to_vec());
+        // Every request frame rings the doorbell exactly once: this is
+        // the enclave-wake ledger the batched submission path amortizes.
+        machine.trace().metrics().inc("cmdq.wakes");
         let id = self.req_id;
         self.transmit(machine, Dir::Request, id, body)
     }
@@ -496,6 +499,7 @@ impl Endpoint {
             return Ok(());
         };
         machine.trace().metrics().inc("recovery.retransmits");
+        machine.trace().metrics().inc("cmdq.wakes");
         let id = self.req_id;
         self.transmit(machine, Dir::Request, id, &body)
     }

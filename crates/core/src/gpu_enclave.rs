@@ -18,11 +18,11 @@ use hix_platform::sgx::SgxError;
 use hix_platform::{Machine, ProcessId, VirtAddr};
 use hix_sim::cost::ExecMode;
 use hix_sim::fault::{EscalationLadder, WatchdogAction};
-use hix_sim::{EventKind, Nanos};
+use hix_sim::{EventKind, Nanos, COUNT_BOUNDS};
 
 use crate::attest::{self, AttestError};
 use crate::channel::{sealed_stream_len, ChannelError, Endpoint, BULK_OFFSET};
-use crate::protocol::{Request, Response};
+use crate::protocol::{BatchCmd, Request, Response};
 
 /// Virtual base where the GPU enclave maps BAR0 through `EGADD`.
 const TRUSTED_BAR0_VA: VirtAddr = VirtAddr::new(0x7000_0000_0000);
@@ -883,7 +883,13 @@ impl GpuEnclave {
             }
             return Ok(true);
         }
-        let response = self.handle(machine, session, request)?;
+        let response = match request {
+            // A submission frame drains a whole ring batch under this
+            // single wake; everything else is the classic one-command
+            // call/response path (also used by journal replay).
+            Request::Submit { cmds } => self.handle_submit(machine, session, cmds)?,
+            request => self.handle(machine, session, request)?,
+        };
         let ok = matches!(response, Response::Ok);
         let state = self.sessions.get_mut(&session).expect("session exists");
         state.endpoint.send_response(machine, &response.encode())?;
@@ -891,6 +897,104 @@ impl GpuEnclave {
             self.remove_session(session);
         }
         Ok(true)
+    }
+
+    /// Executes one submission frame: each command runs in frame order
+    /// through the ordinary [`handle`](Self::handle) path (so per-op
+    /// served counters and enclave spans are identical to the
+    /// synchronous path), posting one `(id, response)` completion entry
+    /// per executed command. A `CtxReset` outcome aborts the remainder
+    /// of the batch — later commands are not executed and carry no
+    /// entry, so the client replays its journal and resubmits the tail
+    /// under the fresh epoch.
+    fn handle_submit(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+        cmds: Vec<BatchCmd>,
+    ) -> Result<Response, HixCoreError> {
+        machine.trace().metrics().inc("cmdq.frames");
+        machine.trace().metrics().add("cmdq.frame_cmds", cmds.len() as u64);
+        machine
+            .trace()
+            .metrics()
+            .observe_with("cmdq.batch_len", &COUNT_BOUNDS, cmds.len() as u64);
+        let obs = machine.trace().obs().clone();
+        let frame_span = obs.enter(
+            machine.clock().now().as_nanos(),
+            "enclave",
+            "cmdq.submit",
+            &[("session", session as u64), ("cmds", cmds.len() as u64)],
+        );
+        let model = machine.model().clone();
+        let mut entries = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            let name: &'static str = match &cmd.req {
+                Request::LoadModule { .. } => "load_module",
+                Request::Free { .. } => "free",
+                Request::MemcpyHtoD { .. } => "memcpy_htod",
+                Request::Memset { .. } => "memset",
+                Request::CopyDtoD { .. } => "memcpy_dtod",
+                Request::Launch { .. } => "launch",
+                Request::Sync => "sync",
+                // Barrier ops never ride a frame: `Malloc` returns an
+                // address, `MemcpyDtoH` owns the bulk area for its
+                // reply, `Close` tears the session down mid-frame, and
+                // nesting is rejected by the decoder already.
+                Request::Malloc { .. }
+                | Request::MemcpyDtoH { .. }
+                | Request::Close
+                | Request::Submit { .. } => {
+                    entries.push((cmd.id, Response::Err("not batchable".into())));
+                    continue;
+                }
+            };
+            let start = machine.clock().now();
+            machine.trace().metrics().observe(
+                "cmdq.queue_delay_ns",
+                start.as_nanos().saturating_sub(cmd.submit_ns),
+            );
+            let htod_len = match &cmd.req {
+                Request::MemcpyHtoD { len, .. } => Some(*len),
+                _ => None,
+            };
+            // Per-command attribution window, dispatch → retire (the
+            // CUDA-event convention: execution, not host enqueue — the
+            // enqueue-to-dispatch wait lands in `cmdq.queue_delay_ns`).
+            // Under the synchronous wrapper the caller's request is
+            // already open, this returns `None`, and the command's
+            // charges roll up into the caller exactly as before.
+            let attr = obs.begin_request(start.as_nanos(), session as u64, name);
+            let result = self.handle(machine, session, cmd.req);
+            if let (Ok(Response::Ok), Some(len)) = (&result, htod_len) {
+                // Time plane at retirement: the pipelined closed form,
+                // merged with whatever the device already charged —
+                // exactly where the synchronous client pinned it.
+                machine.clock().advance_to(start + model.hix_htod(len));
+            }
+            if let Some(id) = attr {
+                obs.end_request(id, machine.clock().now().as_nanos());
+            }
+            match result {
+                Ok(resp) => {
+                    let reset = matches!(resp, Response::CtxReset);
+                    entries.push((cmd.id, resp));
+                    if reset {
+                        machine.trace().metrics().inc("cmdq.batch_aborts");
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // Session aborts (hostile DMA) poison the whole
+                    // frame; the span still closes — no leaked scopes
+                    // on the error path.
+                    obs.exit(frame_span, machine.clock().now().as_nanos());
+                    return Err(e);
+                }
+            }
+        }
+        obs.exit(frame_span, machine.clock().now().as_nanos());
+        Ok(Response::Completions(entries))
     }
 
     fn handle(
@@ -913,6 +1017,9 @@ impl GpuEnclave {
             Request::Launch { .. } => "req.launch",
             Request::Sync => "req.sync",
             Request::Close => "req.close",
+            // `poll` routes frames to `handle_submit`; one reaching this
+            // path is a protocol violation answered in `handle_inner`.
+            Request::Submit { .. } => "req.submit",
         };
         // Server-side request ledger: one counter per op type, so the
         // enclave's view of served requests can be reconciled against
@@ -1107,6 +1214,8 @@ impl GpuEnclave {
                     Err(e) => Response::Err(e.to_string()),
                 }
             }
+            // Frames are drained by `handle_submit` and never nest.
+            Request::Submit { .. } => Response::Err("nested submit".into()),
         };
         Ok(resp)
     }

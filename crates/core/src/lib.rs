@@ -47,4 +47,4 @@ pub mod runtime;
 pub mod sched;
 
 pub use gpu_enclave::{GpuEnclave, GpuEnclaveOptions, HixCoreError};
-pub use runtime::HixSession;
+pub use runtime::{CmdId, CmdStatus, HixSession};

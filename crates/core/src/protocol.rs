@@ -79,6 +79,27 @@ pub enum Request {
     Sync,
     /// Ends the session: context destroyed, memory scrubbed.
     Close,
+    /// A batched submission frame: the commands of one ring drain,
+    /// executed in order under a single channel wake. Sub-requests may
+    /// not themselves be `Submit` (no nesting) and the enclave rejects
+    /// non-batchable commands (`Malloc`/`MemcpyDtoH`/`Close`) inside a
+    /// frame with a per-command error.
+    Submit {
+        /// The batch, in submission order.
+        cmds: Vec<BatchCmd>,
+    },
+}
+
+/// One command inside a [`Request::Submit`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCmd {
+    /// Caller-assigned command id, echoed in the completion entry.
+    pub id: u64,
+    /// Virtual time at which the caller enqueued the command (used for
+    /// the queue-delay ledger; execution order is the frame order).
+    pub submit_ns: u64,
+    /// The command itself (never `Submit`).
+    pub req: Request,
 }
 
 /// A GPU enclave response.
@@ -95,6 +116,11 @@ pub enum Response {
     /// (fresh context, keys, and nonce epoch) and replay its journal
     /// before retrying the request.
     CtxReset,
+    /// Completion entries for a [`Request::Submit`] frame, one per
+    /// executed command in frame order. A trailing `CtxReset` entry
+    /// aborts the rest of the batch: later commands were not executed
+    /// and carry no entry. Entries are never themselves `Completions`.
+    Completions(Vec<(u64, Response)>),
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -167,6 +193,17 @@ impl Request {
                 out.extend_from_slice(&dst.value().to_le_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
             }
+            Request::Submit { cmds } => {
+                out.push(11);
+                out.push(cmds.len() as u8);
+                for c in cmds {
+                    out.extend_from_slice(&c.id.to_le_bytes());
+                    out.extend_from_slice(&c.submit_ns.to_le_bytes());
+                    let enc = c.req.encode();
+                    out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&enc);
+                }
+            }
         }
         out
     }
@@ -218,6 +255,26 @@ impl Request {
                 dst: DevAddr(get_u64(buf, &mut pos)?),
                 len: get_u64(buf, &mut pos)?,
             }),
+            11 => {
+                let n = *buf.get(pos)? as usize;
+                pos += 1;
+                let mut cmds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = get_u64(buf, &mut pos)?;
+                    let submit_ns = get_u64(buf, &mut pos)?;
+                    let len = u32::from_le_bytes(buf.get(pos..pos + 4)?.try_into().ok()?) as usize;
+                    pos += 4;
+                    let req = Request::decode(buf.get(pos..pos + len)?)?;
+                    pos += len;
+                    // Frames never nest: a Submit inside a Submit is
+                    // malformed, not a recursive decode.
+                    if matches!(req, Request::Submit { .. }) {
+                        return None;
+                    }
+                    cmds.push(BatchCmd { id, submit_ns, req });
+                }
+                Some(Request::Submit { cmds })
+            }
             _ => None,
         }
     }
@@ -238,6 +295,16 @@ impl Response {
                 out.push(3);
                 put_str(&mut out, msg);
             }
+            Response::Completions(entries) => {
+                out.push(5);
+                out.push(entries.len() as u8);
+                for (id, resp) in entries {
+                    out.extend_from_slice(&id.to_le_bytes());
+                    let enc = resp.encode();
+                    out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&enc);
+                }
+            }
         }
         out
     }
@@ -250,6 +317,24 @@ impl Response {
             2 => Some(Response::Addr(DevAddr(get_u64(buf, &mut pos)?))),
             3 => Some(Response::Err(get_str(buf, &mut pos)?)),
             4 => Some(Response::CtxReset),
+            5 => {
+                let n = *buf.get(pos)? as usize;
+                pos += 1;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = get_u64(buf, &mut pos)?;
+                    let len = u32::from_le_bytes(buf.get(pos..pos + 4)?.try_into().ok()?) as usize;
+                    pos += 4;
+                    let resp = Response::decode(buf.get(pos..pos + len)?)?;
+                    pos += len;
+                    // Completion entries never nest.
+                    if matches!(resp, Response::Completions(_)) {
+                        return None;
+                    }
+                    entries.push((id, resp));
+                }
+                Some(Response::Completions(entries))
+            }
             _ => None,
         }
     }
@@ -305,6 +390,47 @@ mod tests {
             dst: DevAddr(0x2000),
             len: 512,
         });
+        roundtrip_req(Request::Submit {
+            cmds: vec![
+                BatchCmd { id: 0, submit_ns: 10, req: Request::Sync },
+                BatchCmd {
+                    id: 1,
+                    submit_ns: 10,
+                    req: Request::Launch { name: "k".into(), args: vec![9] },
+                },
+                BatchCmd {
+                    id: 2,
+                    submit_ns: 25,
+                    req: Request::MemcpyHtoD {
+                        dst: DevAddr(0x1000),
+                        len: 64,
+                        chunk: 64,
+                        nonce_start: 3,
+                    },
+                },
+            ],
+        });
+        roundtrip_req(Request::Submit { cmds: vec![] });
+    }
+
+    #[test]
+    fn nested_frames_rejected() {
+        // A Submit inside a Submit must not decode (no recursion on the
+        // wire), and likewise Completions inside Completions.
+        let inner = Request::Submit { cmds: vec![] }.encode();
+        let mut frame = vec![11u8, 1];
+        frame.extend_from_slice(&7u64.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        frame.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&inner);
+        assert_eq!(Request::decode(&frame), None);
+
+        let inner = Response::Completions(vec![]).encode();
+        let mut resp = vec![5u8, 1];
+        resp.extend_from_slice(&7u64.to_le_bytes());
+        resp.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        resp.extend_from_slice(&inner);
+        assert_eq!(Response::decode(&resp), None);
     }
 
     #[test]
@@ -314,6 +440,12 @@ mod tests {
             Response::Addr(DevAddr(42)),
             Response::Err("boom".into()),
             Response::CtxReset,
+            Response::Completions(vec![]),
+            Response::Completions(vec![
+                (0, Response::Ok),
+                (1, Response::Err("bad".into())),
+                (2, Response::CtxReset),
+            ]),
         ] {
             assert_eq!(Response::decode(&r.encode()), Some(r));
         }

@@ -16,6 +16,8 @@
 //! with whatever the device already charged (DMA wire time, in-GPU crypto)
 //! via `Clock::advance_to` — overlap is modeled, never double-charged.
 
+use std::collections::VecDeque;
+
 use hix_crypto::drbg::HmacDrbg;
 use hix_crypto::ocb::{Key, Nonce, Ocb, TAG_LEN};
 use hix_driver::DmaBuffer;
@@ -28,7 +30,7 @@ use hix_sim::{CostModel, EventKind, Nanos, Payload, COUNT_BOUNDS, LATENCY_BOUNDS
 
 use crate::channel::{sealed_stream_len, ChannelError, Endpoint, BULK_OFFSET};
 use crate::gpu_enclave::{GpuEnclave, HixCoreError, SessionId};
-use crate::protocol::{Request, Response};
+use crate::protocol::{BatchCmd, Request, Response};
 
 /// Nonce-space split: HtoD counters grow from 0, DtoH from 2^63 (same
 /// data key, disjoint nonces).
@@ -51,6 +53,62 @@ enum JournalOp {
     Launch { name: String, args: Vec<u64> },
 }
 
+/// The wire request for a journaled op that needs no staging. `HtoD`
+/// (sealed at frame-build time) and `Malloc` (a barrier op returning an
+/// address) have no mapping here and are handled by their callers.
+fn op_request(op: &JournalOp) -> Request {
+    match op {
+        JournalOp::LoadModule { name } => Request::LoadModule { name: name.clone() },
+        JournalOp::Free { va } => Request::Free { va: *va },
+        JournalOp::Memset { va, len, value } => {
+            Request::Memset { va: *va, len: *len, value: *value }
+        }
+        JournalOp::DtoD { src, dst, len } => {
+            Request::CopyDtoD { src: *src, dst: *dst, len: *len }
+        }
+        JournalOp::Launch { name, args } => {
+            Request::Launch { name: name.clone(), args: args.clone() }
+        }
+        JournalOp::HtoD { .. } | JournalOp::Malloc { .. } => {
+            unreachable!("staged or barrier ops have no direct request form")
+        }
+    }
+}
+
+/// Caller-visible identifier of one queued command: session-local,
+/// monotonically increasing in submission order.
+pub type CmdId = u64;
+
+/// Completion status of one batched command, posted on the completion
+/// ring after the enclave executed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmdStatus {
+    /// The command executed successfully (state-bearing commands are
+    /// journaled at this point).
+    Ok,
+    /// The command failed at the GPU enclave with the given reason.
+    Err(String),
+}
+
+/// One command parked in the submission ring. The operation is stored
+/// in journal form, not as an encoded request: a TDR recovery mid-drain
+/// re-keys the session, and the frame must be rebuilt (HtoD payloads
+/// re-sealed) under the fresh epoch's keys and nonces.
+#[derive(Debug, Clone)]
+enum CmdOp {
+    /// A state-bearing operation (journaled once its completion lands).
+    State(JournalOp),
+    /// `cuCtxSynchronize` — carries no state, never journaled.
+    Sync,
+}
+
+#[derive(Debug, Clone)]
+struct PendingCmd {
+    id: CmdId,
+    submit_ns: u64,
+    op: CmdOp,
+}
+
 /// A user enclave's session with the GPU enclave — the handle every
 /// "HIX CUDA" call goes through.
 pub struct HixSession {
@@ -64,6 +122,13 @@ pub struct HixSession {
     synthetic: bool,
     journal: Vec<JournalOp>,
     epoch: u32,
+    /// Submission ring: commands enqueued but not yet drained.
+    pending: VecDeque<PendingCmd>,
+    /// Completion ring: `(id, status)` entries not yet taken by the
+    /// caller, in completion (= submission) order.
+    completed: VecDeque<(CmdId, CmdStatus)>,
+    next_cmd: CmdId,
+    batch_max: usize,
 }
 
 impl std::fmt::Debug for HixSession {
@@ -183,6 +248,10 @@ impl HixSession {
             synthetic,
             journal: Vec::new(),
             epoch: 0,
+            pending: VecDeque::new(),
+            completed: VecDeque::new(),
+            next_cmd: 0,
+            batch_max: Self::DEFAULT_BATCH,
         })
     }
 
@@ -410,6 +479,9 @@ impl HixSession {
             Response::Ok => Ok(()),
             Response::Addr(_) => Err(HixCoreError::Protocol("unexpected address".into())),
             Response::Err(msg) => Err(HixCoreError::Remote(msg)),
+            Response::Completions(_) => {
+                Err(HixCoreError::Protocol("unexpected completions frame".into()))
+            }
             // `exec` intercepts resets before they get here.
             Response::CtxReset => Err(HixCoreError::Protocol("unhandled context reset".into())),
         }
@@ -596,6 +668,9 @@ impl HixSession {
             Response::Ok => Ok(true),
             Response::CtxReset => Ok(false),
             Response::Addr(_) => Err(HixCoreError::Protocol("unexpected address in replay".into())),
+            Response::Completions(_) => {
+                Err(HixCoreError::Protocol("unexpected completions in replay".into()))
+            }
             Response::Err(msg) => Err(HixCoreError::Remote(msg)),
         }
     }
@@ -640,6 +715,397 @@ impl HixSession {
         Ok(Request::MemcpyHtoD { dst, len, chunk, nonce_start })
     }
 
+    /// Submission-ring capacity: enqueueing into a full ring first
+    /// drains it (a backpressure flush), so occupancy never exceeds
+    /// this (mirroring the device model's bounded command queue).
+    pub const RING_CAPACITY: usize = 64;
+
+    /// Default maximum number of commands drained per channel wake.
+    pub const DEFAULT_BATCH: usize = 8;
+
+    /// Number of commands waiting in the submission ring.
+    pub fn pending_cmds(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drains the completion ring: every `(id, status)` entry posted
+    /// since the last call, in completion (= submission) order.
+    pub fn take_completions(&mut self) -> Vec<(CmdId, CmdStatus)> {
+        self.completed.drain(..).collect()
+    }
+
+    /// Sets the maximum number of commands per submission frame
+    /// (clamped to `1..=`[`RING_CAPACITY`](Self::RING_CAPACITY)).
+    pub fn set_batch_max(&mut self, n: usize) {
+        self.batch_max = n.clamp(1, Self::RING_CAPACITY);
+    }
+
+    /// Parks one command in the submission ring, draining first if the
+    /// ring is full (the bounded-ring backpressure rule).
+    fn enqueue(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        op: CmdOp,
+    ) -> Result<CmdId, HixCoreError> {
+        if self.pending.len() >= Self::RING_CAPACITY {
+            machine.trace().metrics().inc("cmdq.backpressure_flushes");
+            self.flush(machine, enclave)?;
+        }
+        let id = self.next_cmd;
+        self.next_cmd += 1;
+        self.pending.push_back(PendingCmd {
+            id,
+            submit_ns: machine.clock().now().as_nanos(),
+            op,
+        });
+        Ok(id)
+    }
+
+    /// Enqueues a `cuModuleLoad` without waiting for it; the result
+    /// arrives on the completion ring after a [`flush`](Self::flush).
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures from a backpressure flush.
+    pub fn submit_load_module(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        name: &str,
+    ) -> Result<CmdId, HixCoreError> {
+        self.enqueue(
+            machine,
+            enclave,
+            CmdOp::State(JournalOp::LoadModule { name: name.into() }),
+        )
+    }
+
+    /// Enqueues a `cuMemFree`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures from a backpressure flush.
+    pub fn submit_free(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        va: DevAddr,
+    ) -> Result<CmdId, HixCoreError> {
+        self.enqueue(machine, enclave, CmdOp::State(JournalOp::Free { va }))
+    }
+
+    /// Enqueues a secure host-to-device transfer. The payload is sealed
+    /// at frame-build time (during the drain) under whatever epoch is
+    /// current then, so a TDR recovery mid-queue transparently re-seals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures from a backpressure flush. Panics
+    /// (programming error) if the transfer exceeds the shared window.
+    pub fn submit_htod(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        dst: DevAddr,
+        payload: &Payload,
+    ) -> Result<CmdId, HixCoreError> {
+        let len = payload.len();
+        if len == 0 {
+            // Nothing to move: complete immediately, no wire traffic
+            // (the synchronous wrapper's empty-transfer shortcut).
+            let id = self.next_cmd;
+            self.next_cmd += 1;
+            self.completed.push_back((id, CmdStatus::Ok));
+            return Ok(id);
+        }
+        assert!(
+            sealed_stream_len(len, machine.model().pipeline_chunk) <= self.endpoint.bulk_capacity(),
+            "transfer exceeds the shared-memory window; reconnect with a larger one"
+        );
+        self.enqueue(
+            machine,
+            enclave,
+            CmdOp::State(JournalOp::HtoD { dst, payload: payload.clone() }),
+        )
+    }
+
+    /// Enqueues a `cuMemsetD8`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures from a backpressure flush.
+    pub fn submit_memset(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        va: DevAddr,
+        len: u64,
+        value: u8,
+    ) -> Result<CmdId, HixCoreError> {
+        self.enqueue(machine, enclave, CmdOp::State(JournalOp::Memset { va, len, value }))
+    }
+
+    /// Enqueues a device-to-device copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures from a backpressure flush.
+    pub fn submit_dtod(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        src: DevAddr,
+        dst: DevAddr,
+        len: u64,
+    ) -> Result<CmdId, HixCoreError> {
+        self.enqueue(machine, enclave, CmdOp::State(JournalOp::DtoD { src, dst, len }))
+    }
+
+    /// Enqueues a kernel launch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures from a backpressure flush.
+    pub fn submit_launch(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        name: &str,
+        args: &[u64],
+    ) -> Result<CmdId, HixCoreError> {
+        self.enqueue(
+            machine,
+            enclave,
+            CmdOp::State(JournalOp::Launch { name: name.into(), args: args.to_vec() }),
+        )
+    }
+
+    /// Enqueues a `cuCtxSynchronize`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures from a backpressure flush.
+    pub fn submit_sync(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+    ) -> Result<CmdId, HixCoreError> {
+        self.enqueue(machine, enclave, CmdOp::Sync)
+    }
+
+    /// Drains the submission ring: batches of up to `batch_max`
+    /// commands ride one channel wake each, and their completions land
+    /// on the completion ring ([`take_completions`](Self::take_completions)).
+    /// A `CtxReset` completion triggers the ordinary journal-replay
+    /// recovery; the interrupted batch's tail is rebuilt (HtoD payloads
+    /// re-sealed) under the fresh epoch and resubmitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel and recovery failures; per-command failures
+    /// are *not* errors — they complete with [`CmdStatus::Err`].
+    pub fn flush(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+    ) -> Result<(), HixCoreError> {
+        while !self.pending.is_empty() {
+            self.flush_frame(machine, enclave)?;
+        }
+        Ok(())
+    }
+
+    /// Builds, submits, and retires one frame off the ring's head,
+    /// recovering transparently from context resets.
+    fn flush_frame(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+    ) -> Result<(), HixCoreError> {
+        let mut resets = 0u32;
+        loop {
+            let cmds = self.build_frame(machine)?;
+            let sent = cmds.len();
+            let resp = self.roundtrip(machine, enclave, &Request::Submit { cmds })?;
+            let entries = match resp {
+                // Whole-frame reset: the session itself is stale (TDR
+                // while parked/idle) — nothing in the frame executed.
+                Response::CtxReset => {
+                    resets += 1;
+                    if resets > Self::MAX_TDR_RETRIES {
+                        return Err(HixCoreError::Protocol(
+                            "TDR recovery budget exhausted".into(),
+                        ));
+                    }
+                    self.recover(machine, enclave)?;
+                    continue;
+                }
+                Response::Completions(entries) => entries,
+                _ => {
+                    return Err(HixCoreError::Protocol(
+                        "expected a completions frame".into(),
+                    ))
+                }
+            };
+            let mut progressed = false;
+            let mut reset = false;
+            for (id, r) in entries {
+                let Some(front) = self.pending.front() else {
+                    return Err(HixCoreError::Protocol("completion for empty ring".into()));
+                };
+                if front.id != id {
+                    // Per-session FIFO is a protocol invariant: the
+                    // enclave completes commands in frame order and the
+                    // channel is exactly-once, so any skew is hostile.
+                    return Err(HixCoreError::Protocol(format!(
+                        "completion {id} out of order (ring head {})",
+                        front.id
+                    )));
+                }
+                match r {
+                    Response::Ok => {
+                        let cmd = self.pending.pop_front().expect("checked front");
+                        self.retire_ok(machine, cmd);
+                        progressed = true;
+                    }
+                    Response::Err(msg) => {
+                        let cmd = self.pending.pop_front().expect("checked front");
+                        self.completed.push_back((cmd.id, CmdStatus::Err(msg)));
+                        progressed = true;
+                    }
+                    Response::CtxReset => {
+                        reset = true;
+                        break;
+                    }
+                    Response::Addr(_) | Response::Completions(_) => {
+                        return Err(HixCoreError::Protocol(
+                            "unexpected completion payload".into(),
+                        ))
+                    }
+                }
+            }
+            if reset {
+                if progressed {
+                    // The batch made progress before the reset: the
+                    // retry budget is per command, not per frame.
+                    resets = 0;
+                }
+                resets += 1;
+                if resets > Self::MAX_TDR_RETRIES {
+                    return Err(HixCoreError::Protocol(
+                        "TDR recovery budget exhausted".into(),
+                    ));
+                }
+                self.recover(machine, enclave)?;
+                continue;
+            }
+            if sent > 0 && !progressed {
+                return Err(HixCoreError::Protocol("empty completions frame".into()));
+            }
+            return Ok(());
+        }
+    }
+
+    /// Cuts one frame off the ring's head under the batching
+    /// invariants: at most `batch_max` commands, at most one
+    /// bulk-bearing (HtoD) command per frame (the sealed stream owns
+    /// the bulk area), and the encoded frame stays within the
+    /// channel's body bound. HtoD payloads are sealed here, at
+    /// frame-build time, under the *current* epoch.
+    fn build_frame(&mut self, machine: &mut Machine) -> Result<Vec<BatchCmd>, HixCoreError> {
+        // Sealed channel bodies are bounded (`MAX_BODY` = 4 KiB); leave
+        // room for the message envelope and the auth tag.
+        const FRAME_BYTES: usize = 0xF00;
+        let mut take = 0usize;
+        let mut bulk = false;
+        let mut bytes = 2usize; // frame tag + count
+        for cmd in &self.pending {
+            if take >= self.batch_max {
+                break;
+            }
+            let is_bulk = matches!(cmd.op, CmdOp::State(JournalOp::HtoD { .. }));
+            if is_bulk && bulk {
+                break;
+            }
+            let enc_len = match &cmd.op {
+                // tag + dst + len + chunk + nonce_start.
+                CmdOp::State(JournalOp::HtoD { .. }) => 33,
+                CmdOp::State(op) => op_request(op).encode().len(),
+                CmdOp::Sync => 1,
+            };
+            let entry = 8 + 8 + 4 + enc_len;
+            if take > 0 && bytes + entry > FRAME_BYTES {
+                break;
+            }
+            bytes += entry;
+            bulk |= is_bulk;
+            take += 1;
+        }
+        // A single command always goes out, whatever its size: the
+        // sync path must never wedge on a frame the size check refuses.
+        let take = take.max(1).min(self.pending.len());
+        let head: Vec<PendingCmd> = self.pending.iter().take(take).cloned().collect();
+        let mut cmds = Vec::with_capacity(head.len());
+        for cmd in head {
+            let req = match cmd.op {
+                CmdOp::State(JournalOp::HtoD { dst, payload }) => {
+                    self.stage_htod(machine, dst, &payload)?
+                }
+                CmdOp::State(JournalOp::Malloc { .. }) => {
+                    unreachable!("malloc is a barrier op, never queued")
+                }
+                CmdOp::State(op) => op_request(&op),
+                CmdOp::Sync => Request::Sync,
+            };
+            cmds.push(BatchCmd { id: cmd.id, submit_ns: cmd.submit_ns, req });
+        }
+        Ok(cmds)
+    }
+
+    /// Retires one successfully completed command: journals state-
+    /// bearing ops (so recovery replays them), bumps the HtoD nonce
+    /// exactly as the synchronous path did, and posts the completion.
+    fn retire_ok(&mut self, machine: &mut Machine, cmd: PendingCmd) {
+        match cmd.op {
+            CmdOp::State(op) => {
+                if let JournalOp::HtoD { payload, .. } = &op {
+                    let chunk = machine.model().pipeline_chunk;
+                    self.htod_nonce += payload.len().div_ceil(chunk);
+                }
+                self.journal.push(op);
+            }
+            CmdOp::Sync => {}
+        }
+        self.completed.push_back((cmd.id, CmdStatus::Ok));
+    }
+
+    /// Synchronous-wrapper tail: drain the ring, then pluck command
+    /// `id`'s completion (other completions stay on the ring for their
+    /// own callers).
+    fn drain_for(
+        &mut self,
+        machine: &mut Machine,
+        enclave: &mut GpuEnclave,
+        id: CmdId,
+    ) -> Result<(), HixCoreError> {
+        self.flush(machine, enclave)?;
+        let mut status = None;
+        self.completed.retain(|(cid, s)| {
+            if *cid == id {
+                status = Some(s.clone());
+                false
+            } else {
+                true
+            }
+        });
+        match status {
+            Some(CmdStatus::Ok) => Ok(()),
+            Some(CmdStatus::Err(msg)) => Err(HixCoreError::Remote(msg)),
+            None => Err(HixCoreError::Protocol("completion lost".into())),
+        }
+    }
+
     /// `hixModuleLoad`.
     ///
     /// # Errors
@@ -653,10 +1119,8 @@ impl HixSession {
     ) -> Result<(), HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "load_module");
         let result = (|| {
-            let resp = self.exec(machine, enclave, &Request::LoadModule { name: name.into() })?;
-            self.expect_ok(resp)?;
-            self.journal.push(JournalOp::LoadModule { name: name.into() });
-            Ok(())
+            let id = self.submit_load_module(machine, enclave, name)?;
+            self.drain_for(machine, enclave, id)
         })();
         end_request(machine, req);
         result
@@ -674,14 +1138,23 @@ impl HixSession {
         len: u64,
     ) -> Result<DevAddr, HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "malloc");
-        let result = (|| match self.exec(machine, enclave, &Request::Malloc { len })? {
-            Response::Addr(va) => {
-                self.journal.push(JournalOp::Malloc { len, va });
-                Ok(va)
+        // A barrier op: the returned address must order after every
+        // queued command, so the ring drains first.
+        let result = (|| {
+            self.flush(machine, enclave)?;
+            match self.exec(machine, enclave, &Request::Malloc { len })? {
+                Response::Addr(va) => {
+                    self.journal.push(JournalOp::Malloc { len, va });
+                    Ok(va)
+                }
+                Response::Err(msg) => Err(HixCoreError::Remote(msg)),
+                Response::Ok | Response::Completions(_) => {
+                    Err(HixCoreError::Protocol("expected address".into()))
+                }
+                Response::CtxReset => {
+                    Err(HixCoreError::Protocol("unhandled context reset".into()))
+                }
             }
-            Response::Err(msg) => Err(HixCoreError::Remote(msg)),
-            Response::Ok => Err(HixCoreError::Protocol("expected address".into())),
-            Response::CtxReset => Err(HixCoreError::Protocol("unhandled context reset".into())),
         })();
         end_request(machine, req);
         result
@@ -700,10 +1173,8 @@ impl HixSession {
     ) -> Result<(), HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "free");
         let result = (|| {
-            let resp = self.exec(machine, enclave, &Request::Free { va })?;
-            self.expect_ok(resp)?;
-            self.journal.push(JournalOp::Free { va });
-            Ok(())
+            let id = self.submit_free(machine, enclave, va)?;
+            self.drain_for(machine, enclave, id)
         })();
         end_request(machine, req);
         result
@@ -744,33 +1215,21 @@ impl HixSession {
             &[("bytes", len)],
         );
         let start = machine.clock().now();
-        // Functional plane: seal every chunk into the bulk area, ask the
-        // GPU enclave to DMA + decrypt. A `CtxReset` response means the
-        // transfer's context died to a TDR action: recover and re-seal
-        // under the new epoch's key and nonces (the old sealed stream is
-        // worthless — and must be, or the reset leaked something).
+        // Functional plane: the transfer rides the submission ring —
+        // sealing happens at frame-build time, a `CtxReset` completion
+        // triggers recovery and a re-seal under the new epoch's key and
+        // nonces (the old sealed stream is worthless — and must be, or
+        // the reset leaked something). Journal + nonce bump happen at
+        // retirement in `retire_ok`, exactly once.
         let result = (|| {
-            let mut resets = 0u32;
-            loop {
-                let request = self.stage_htod(machine, dst, payload)?;
-                let resp = self.roundtrip(machine, enclave, &request)?;
-                if !matches!(resp, Response::CtxReset) {
-                    self.expect_ok(resp)?;
-                    self.htod_nonce += len.div_ceil(chunk);
-                    return Ok(());
-                }
-                resets += 1;
-                if resets > Self::MAX_TDR_RETRIES {
-                    return Err(HixCoreError::Protocol(
-                        "TDR recovery budget exhausted".into(),
-                    ));
-                }
-                self.recover(machine, enclave)?;
-            }
+            let id = self.submit_htod(machine, enclave, dst, payload)?;
+            self.drain_for(machine, enclave, id)
         })();
         if result.is_ok() {
-            self.journal.push(JournalOp::HtoD { dst, payload: payload.clone() });
-            // Time plane: pipelined encrypt+DMA, then the decrypt kernel.
+            // Time plane: pipelined encrypt+DMA, then the decrypt
+            // kernel. The enclave already pinned the closed form at
+            // retirement; this keeps the clean-path elapsed time exact
+            // even if a recovery replay stretched the drain.
             machine
                 .clock()
                 .advance_to(start + model.ipc_roundtrip + model.hix_htod(len));
@@ -813,6 +1272,9 @@ impl HixSession {
         );
         let start = machine.clock().now();
         let result = (|| {
+            // A barrier op: the read must observe every queued command,
+            // and its sealed reply owns the bulk area — drain first.
+            self.flush(machine, enclave)?;
             // Reads are not journaled (they carry no state) but still ride
             // the TDR-recovery loop: after a recovery the replayed journal
             // has reconstructed the source buffer, so the retried read
@@ -896,10 +1358,8 @@ impl HixSession {
     ) -> Result<(), HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "memset");
         let result = (|| {
-            let resp = self.exec(machine, enclave, &Request::Memset { va, len, value })?;
-            self.expect_ok(resp)?;
-            self.journal.push(JournalOp::Memset { va, len, value });
-            Ok(())
+            let id = self.submit_memset(machine, enclave, va, len, value)?;
+            self.drain_for(machine, enclave, id)
         })();
         end_request(machine, req);
         result
@@ -921,10 +1381,8 @@ impl HixSession {
     ) -> Result<(), HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "memcpy_dtod");
         let result = (|| {
-            let resp = self.exec(machine, enclave, &Request::CopyDtoD { src, dst, len })?;
-            self.expect_ok(resp)?;
-            self.journal.push(JournalOp::DtoD { src, dst, len });
-            Ok(())
+            let id = self.submit_dtod(machine, enclave, src, dst, len)?;
+            self.drain_for(machine, enclave, id)
         })();
         end_request(machine, req);
         result
@@ -945,17 +1403,8 @@ impl HixSession {
     ) -> Result<(), HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "launch");
         let result = (|| {
-            let request = Request::Launch {
-                name: name.into(),
-                args: args.to_vec(),
-            };
-            let resp = self.exec(machine, enclave, &request)?;
-            self.expect_ok(resp)?;
-            self.journal.push(JournalOp::Launch {
-                name: name.into(),
-                args: args.to_vec(),
-            });
-            Ok(())
+            let id = self.submit_launch(machine, enclave, name, args)?;
+            self.drain_for(machine, enclave, id)
         })();
         end_request(machine, req);
         result
@@ -973,8 +1422,8 @@ impl HixSession {
     ) -> Result<(), HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "sync");
         let result = (|| {
-            let resp = self.exec(machine, enclave, &Request::Sync)?;
-            self.expect_ok(resp)
+            let id = self.submit_sync(machine, enclave)?;
+            self.drain_for(machine, enclave, id)
         })();
         end_request(machine, req);
         result
@@ -1021,6 +1470,8 @@ impl HixSession {
     ) -> Result<(), HixCoreError> {
         let req = begin_request(machine, u64::from(self.id), "close");
         let result = (|| {
+            // Drain any still-queued commands before tearing down.
+            self.flush(machine, enclave)?;
             let resp = match self.roundtrip(machine, enclave, &Request::Close) {
                 Ok(resp) => resp,
                 // The Close was served but its ack lost: the retransmitted

@@ -52,13 +52,18 @@ cmp target/scale-a.json target/scale-b.json
 cargo run -q --release --offline -p hix-bench --bin scale_report -- --check target/scale-a.json
 cargo run -q --release --offline -p hix-bench --bin scale_report -- --check BENCH_scale.json
 
-# Serving-path attribution smoke: 4 tenants x {none, light, heavy}
-# fault profiles with request attribution and span recording on. The
-# bin self-checks the reconciliation invariant (attributed +
-# unattributed charge == the per-category accumulator, +-0), that every
-# request's critical path fits inside its end-to-end window, and
-# same-seed determinism; here we additionally pin cross-invocation
-# stability and that the emitted file passes --check, as must the
+# Serving-path attribution + async command-queue smoke: 4 tenants x
+# {none, light, heavy} fault profiles, each profile run through both
+# submission engines (synchronous wrappers and explicit batch-8 rings)
+# with request attribution and span recording on. The bin self-checks
+# the reconciliation invariant (attributed + unattributed charge == the
+# per-category accumulator, +-0), that every request's critical path
+# fits inside its end-to-end window, same-seed determinism in both
+# engines, byte-identical GPU results across engines, and the batching
+# acceptance gates (>=4x fewer channel wakes per queued op on the clean
+# profile, p99 no worse than sync); here we additionally pin
+# cross-invocation stability (double-run cmp) and that the emitted file
+# passes --check — including its `batched` column — as must the
 # committed full-sweep BENCH_perf.json baseline.
 cargo run -q --release --offline -p hix-bench --bin perf_report -- --smoke target/perf-a.json
 cargo run -q --release --offline -p hix-bench --bin perf_report -- --smoke target/perf-b.json

@@ -1,0 +1,257 @@
+//! Differential equivalence of the async command-queue runtime: the
+//! same seeded op mix runs once through the synchronous `HixSession`
+//! wrappers and once through explicit batched submission
+//! (`submit_*`/`flush`/`take_completions`), across 3 seeds × {none,
+//! light, heavy} fault profiles. The two engines must produce
+//! **byte-identical GPU results** in every cell, completions must
+//! retire in FIFO order with every command accounted for, request
+//! attribution must reconcile ±0 in both modes, and batching must
+//! strictly reduce channel wakes.
+//!
+//! Fault-ledger note: with a fault plan live, the per-kind
+//! `fault.injected.*` ledgers are compared across same-seed *reruns of
+//! the same mode* (injection is deterministic), not across modes — the
+//! two engines put different frame counts on the wire, so the plan's
+//! per-message sampling necessarily diverges. Under `none` both modes'
+//! ledgers are identical (all zero) and asserted as such.
+
+use hix_core::{CmdStatus, GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_driver::rig::{standard_rig, RigOptions};
+use hix_platform::Machine;
+use hix_sim::fault::{FaultConfig, FaultPlan};
+use hix_sim::{EventKind, Payload};
+use hix_testkit::Rng;
+use hix_workloads::all_kernels;
+
+/// Sessions per run (connect/close churn in both engines).
+const ROUNDS: u32 = 3;
+/// Matrix dimension: 24×24 i32 inputs, multi-message sealed streams.
+const N: u64 = 24;
+
+struct EquivRun {
+    /// DtoH result bytes, one entry per round.
+    results: Vec<Vec<u8>>,
+    injected: u64,
+    fault_events: u64,
+    /// Every `fault.injected.*` snapshot line (the per-kind ledger).
+    ledger: Vec<String>,
+    wakes: u64,
+    frames: u64,
+    snapshot: String,
+}
+
+fn rig() -> Machine {
+    let m = standard_rig(RigOptions {
+        kernels: all_kernels(),
+        ..RigOptions::default()
+    });
+    m.trace().set_recording(true);
+    m.trace().obs().set_attributing(true);
+    m
+}
+
+fn matrix_bytes(rng: &mut Rng, n: u64) -> Vec<u8> {
+    (0..n * n)
+        .flat_map(|_| ((rng.u32() % 64) as i32).to_le_bytes())
+        .collect()
+}
+
+/// One run of the shared op mix. `batched` selects the engine: the
+/// synchronous wrappers (one wake per op) or explicit ring submission
+/// (the queueable stretch rides batched frames). The workload RNG
+/// stream is identical in both modes, so inputs — and therefore GPU
+/// results — must be too.
+fn run_mix(seed: u64, profile: Option<FaultConfig>, batched: bool) -> EquivRun {
+    let mut m = rig();
+    if let Some(cfg) = profile {
+        m.set_fault_plan(FaultPlan::new(seed ^ 0xF417, cfg));
+    }
+    let mut wl = Rng::new(seed);
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).expect("launch");
+    let mut results = Vec::new();
+    for round in 0..ROUNDS {
+        let mut s = HixSession::connect(&mut m, &mut enclave)
+            .unwrap_or_else(|e| panic!("round {round}: connect: {e}"));
+        let bytes = N * N * 4;
+        let a = s.malloc(&mut m, &mut enclave, bytes).expect("malloc a");
+        let b = s.malloc(&mut m, &mut enclave, bytes).expect("malloc b");
+        let c = s.malloc(&mut m, &mut enclave, bytes).expect("malloc c");
+        let av = matrix_bytes(&mut wl, N);
+        let bv = matrix_bytes(&mut wl, N);
+        // Seeded variety beyond the fixed mix, drawn identically in
+        // both modes: 0 = pre-clear the output, 1 = an extra on-GPU
+        // copy, 2 = nothing.
+        let extra = wl.u32() % 3;
+        if batched {
+            let mut ids = Vec::new();
+            ids.push(s.submit_load_module(&mut m, &mut enclave, "matrix.mul").unwrap());
+            ids.push(s.submit_htod(&mut m, &mut enclave, a, &Payload::from_bytes(av)).unwrap());
+            ids.push(s.submit_htod(&mut m, &mut enclave, b, &Payload::from_bytes(bv)).unwrap());
+            match extra {
+                0 => ids.push(s.submit_memset(&mut m, &mut enclave, c, bytes, 0).unwrap()),
+                1 => ids.push(s.submit_dtod(&mut m, &mut enclave, a, c, bytes).unwrap()),
+                _ => {}
+            }
+            ids.push(
+                s.submit_launch(&mut m, &mut enclave, "matrix.mul", &[
+                    a.value(),
+                    b.value(),
+                    c.value(),
+                    N,
+                ])
+                .unwrap(),
+            );
+            ids.push(s.submit_sync(&mut m, &mut enclave).unwrap());
+            s.flush(&mut m, &mut enclave)
+                .unwrap_or_else(|e| panic!("round {round}: flush: {e}"));
+            assert_eq!(s.pending_cmds(), 0, "flush must drain the ring");
+            let comps = s.take_completions();
+            assert_eq!(
+                comps.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                ids,
+                "completions must retire in FIFO submission order"
+            );
+            for (id, status) in &comps {
+                assert_eq!(status, &CmdStatus::Ok, "command {id} failed");
+            }
+        } else {
+            s.load_module(&mut m, &mut enclave, "matrix.mul").expect("module");
+            s.memcpy_htod(&mut m, &mut enclave, a, &Payload::from_bytes(av))
+                .unwrap_or_else(|e| panic!("round {round}: htod a: {e}"));
+            s.memcpy_htod(&mut m, &mut enclave, b, &Payload::from_bytes(bv))
+                .unwrap_or_else(|e| panic!("round {round}: htod b: {e}"));
+            match extra {
+                0 => s.memset(&mut m, &mut enclave, c, bytes, 0).expect("memset"),
+                1 => s.memcpy_dtod(&mut m, &mut enclave, a, c, bytes).expect("dtod"),
+                _ => {}
+            }
+            s.launch(&mut m, &mut enclave, "matrix.mul", &[a.value(), b.value(), c.value(), N])
+                .unwrap_or_else(|e| panic!("round {round}: launch: {e}"));
+            s.sync(&mut m, &mut enclave).expect("sync");
+        }
+        let out = s
+            .memcpy_dtoh(&mut m, &mut enclave, c, bytes)
+            .unwrap_or_else(|e| panic!("round {round}: dtoh: {e}"));
+        results.push(out.bytes().to_vec());
+        s.close(&mut m, &mut enclave)
+            .unwrap_or_else(|e| panic!("round {round}: close: {e}"));
+    }
+    // Attribution must reconcile ±0 in both engines — the batched path
+    // opens per-command request windows on the enclave side.
+    m.trace().obs().check_attribution().expect("attribution reconciles +-0");
+    let snapshot = m.trace().obs().snapshot();
+    let ledger = snapshot
+        .lines()
+        .filter(|l| l.trim_start().starts_with("fault.injected"))
+        .map(str::to_string)
+        .collect();
+    let mx = m.trace().metrics();
+    EquivRun {
+        results,
+        injected: mx.counter("fault.injected") + mx.counter("fault.detected"),
+        fault_events: m.trace().count(EventKind::Fault),
+        ledger,
+        wakes: mx.counter("cmdq.wakes"),
+        frames: mx.counter("cmdq.frames"),
+        snapshot,
+    }
+}
+
+/// The acceptance sweep: 3 seeds × {none, light, heavy}, sync vs
+/// batched — byte-identical results in all 9 cells, reconciled fault
+/// accounting, identical ledgers wherever injection counts can agree.
+#[test]
+fn batched_submission_is_byte_identical_to_sync() {
+    for seed in [0xA5E1_0001u64, 0xA5E1_0002, 0xA5E1_0003] {
+        let profiles: [(&str, Option<FaultConfig>); 3] = [
+            ("none", None),
+            ("light", Some(FaultConfig::light())),
+            ("heavy", Some(FaultConfig::heavy())),
+        ];
+        for (tag, cfg) in profiles {
+            let sync = run_mix(seed, cfg.clone(), false);
+            let batched = run_mix(seed, cfg.clone(), true);
+            assert_eq!(
+                batched.results, sync.results,
+                "batched engine changed GPU results ({tag}, seed {seed:#x})"
+            );
+            assert!(batched.frames > 0, "batched mode must actually use frames");
+            for run in [&sync, &batched] {
+                // The canonical tiling: one Fault event per injection
+                // plus one per detected real error (e.g. an injected
+                // flip surfacing as a device-side integrity failure).
+                assert_eq!(
+                    run.fault_events, run.injected,
+                    "Fault events must tile injected+detected ({tag}, seed {seed:#x})"
+                );
+            }
+            match cfg {
+                None => {
+                    assert_eq!(sync.injected, 0, "no plan, no faults");
+                    assert_eq!(
+                        batched.ledger, sync.ledger,
+                        "clean-cell ledgers must be identical (both empty)"
+                    );
+                    assert!(
+                        batched.wakes < sync.wakes,
+                        "batching must reduce channel wakes ({} vs {}, seed {seed:#x})",
+                        batched.wakes,
+                        sync.wakes
+                    );
+                }
+                Some(_) => {
+                    assert!(sync.injected > 0, "{tag} plan never fired (seed {seed:#x})");
+                    assert!(batched.injected > 0, "{tag} plan never fired on batched");
+                }
+            }
+        }
+    }
+}
+
+/// Same-seed reruns of the *same* engine are fully deterministic: the
+/// per-kind fault ledger and the whole metrics snapshot agree line for
+/// line (this is the "identical ledgers" guarantee batching preserves).
+#[test]
+fn same_seed_reruns_have_identical_ledgers_per_mode() {
+    for batched in [false, true] {
+        let a = run_mix(0xD1FF_5EED, Some(FaultConfig::heavy()), batched);
+        let b = run_mix(0xD1FF_5EED, Some(FaultConfig::heavy()), batched);
+        assert!(a.injected > 0, "the heavy plan must fire (batched={batched})");
+        assert_eq!(
+            a.ledger, b.ledger,
+            "per-kind fault ledgers diverged across reruns (batched={batched})"
+        );
+        assert_eq!(
+            a.snapshot, b.snapshot,
+            "metrics snapshots diverged across reruns (batched={batched})"
+        );
+    }
+}
+
+/// An explicit mixed workflow: interleaving submits, barriers, and
+/// late completion pickup. Barrier ops (malloc/dtoh) drain the ring
+/// first, so every queued command's effect is visible to them.
+#[test]
+fn barriers_order_after_queued_commands() {
+    let mut m = rig();
+    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).expect("launch");
+    let mut s = HixSession::connect(&mut m, &mut enclave).expect("connect");
+    let a = s.malloc(&mut m, &mut enclave, 4096).expect("malloc");
+    let id0 = s.submit_memset(&mut m, &mut enclave, a, 4096, 0x5a).unwrap();
+    // The barrier read drains the pending memset before serving.
+    let back = s.memcpy_dtoh(&mut m, &mut enclave, a, 4096).expect("dtoh");
+    assert!(back.bytes().iter().all(|&x| x == 0x5a), "barrier saw stale bytes");
+    let comps = s.take_completions();
+    assert_eq!(comps, vec![(id0, CmdStatus::Ok)]);
+    // A failing queued command completes with Err, not a flush error.
+    let bad = s.submit_launch(&mut m, &mut enclave, "no.such.kernel", &[]).unwrap();
+    s.flush(&mut m, &mut enclave).expect("flush survives command errors");
+    let comps = s.take_completions();
+    assert_eq!(comps.len(), 1);
+    assert_eq!(comps[0].0, bad);
+    assert!(
+        matches!(&comps[0].1, CmdStatus::Err(_)),
+        "unknown kernel must fail its own command only"
+    );
+    s.close(&mut m, &mut enclave).expect("close");
+}

@@ -13,8 +13,11 @@ use hix_core::multiuser::{
     run_scaled, seeded_session_faults, FaultProfile, Mode, ScaleOutcome, SchedulerConfig,
     SessionFaults, SessionSpec, TaskSpec,
 };
+use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_driver::rig::{standard_rig, RigOptions};
 use hix_obs::Metrics;
-use hix_sim::{CostModel, Nanos};
+use hix_sim::{CostModel, Nanos, Payload};
+use hix_testkit::Rng;
 
 const SEEDS: [u64; 3] = [1, 2, 3];
 const SIZES: [usize; 2] = [4, 1000];
@@ -182,5 +185,89 @@ fn bounded_residency_conserves_service_and_parks_transparently() {
     assert!(
         snap.contains("sched.parks"),
         "parking telemetry missing from the metrics snapshot"
+    );
+}
+
+/// Batched-submission sweep over 1000 *real* enclave sessions (the
+/// full attested stack, not the scheduler model): every session runs
+/// the same 4-op mix once through the synchronous wrappers and once
+/// through explicit batch-8 submission. Results must be byte-identical
+/// per session, and — counter-checked via the `cmdq.wakes` ledger the
+/// channel keeps — batching must cut channel wakes per op by the full
+/// frame factor: the 4-op mix rides one frame, so exactly 4× fewer
+/// doorbell rings than one-wake-per-op sync.
+#[test]
+fn batched_submission_reduces_wakes_per_op_at_scale() {
+    const USERS: usize = 1000;
+    const BYTES: u64 = 256;
+    /// Per-session ops measured inside the wake window (htod, memset,
+    /// dtod, sync).
+    const OPS_PER_SESSION: u64 = 4;
+
+    /// Runs the sweep in one mode; returns each session's result bytes
+    /// plus the channel wakes accumulated inside the op-mix windows.
+    fn sweep(batched: bool) -> (Vec<Vec<u8>>, u64) {
+        let mut m = standard_rig(RigOptions::default());
+        let mut enclave =
+            GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).expect("launch");
+        let mut wl = Rng::new(0x5CA1_E5CA);
+        let mut results = Vec::with_capacity(USERS);
+        let mut wakes = 0u64;
+        for u in 0..USERS {
+            let mut s = HixSession::connect(&mut m, &mut enclave)
+                .unwrap_or_else(|e| panic!("session {u}: connect: {e}"));
+            let a = s.malloc(&mut m, &mut enclave, BYTES).expect("malloc a");
+            let b = s.malloc(&mut m, &mut enclave, BYTES).expect("malloc b");
+            let fill = (wl.u32() & 0xff) as u8;
+            let payload: Vec<u8> = (0..BYTES).map(|_| (wl.u32() & 0xff) as u8).collect();
+            let wakes0 = m.trace().metrics().counter("cmdq.wakes");
+            if batched {
+                s.submit_memset(&mut m, &mut enclave, b, BYTES, fill).expect("memset");
+                s.submit_htod(&mut m, &mut enclave, a, &Payload::from_bytes(payload))
+                    .expect("htod");
+                s.submit_dtod(&mut m, &mut enclave, a, b, BYTES / 2).expect("dtod");
+                s.submit_sync(&mut m, &mut enclave).expect("sync");
+                s.flush(&mut m, &mut enclave).expect("flush");
+                assert!(
+                    s.take_completions().iter().all(|(_, st)| *st == hix_core::CmdStatus::Ok),
+                    "session {u}: a queued command failed"
+                );
+            } else {
+                s.memset(&mut m, &mut enclave, b, BYTES, fill).expect("memset");
+                s.memcpy_htod(&mut m, &mut enclave, a, &Payload::from_bytes(payload))
+                    .expect("htod");
+                s.memcpy_dtod(&mut m, &mut enclave, a, b, BYTES / 2).expect("dtod");
+                s.sync(&mut m, &mut enclave).expect("sync");
+            }
+            wakes += m.trace().metrics().counter("cmdq.wakes") - wakes0;
+            let out = s.memcpy_dtoh(&mut m, &mut enclave, b, BYTES).expect("dtoh");
+            results.push(out.bytes().to_vec());
+            s.close(&mut m, &mut enclave).expect("close");
+        }
+        (results, wakes)
+    }
+
+    let (sync_results, sync_wakes) = sweep(false);
+    let (batched_results, batched_wakes) = sweep(true);
+    assert_eq!(
+        batched_results, sync_results,
+        "batched engine changed per-session results at scale"
+    );
+    assert_eq!(
+        sync_wakes,
+        USERS as u64 * OPS_PER_SESSION,
+        "sync mode must ring the doorbell once per op"
+    );
+    assert!(
+        batched_wakes < sync_wakes,
+        "batching must strictly reduce channel wakes ({batched_wakes} vs {sync_wakes})"
+    );
+    // The whole 4-op mix (one bulk transfer, three compute-plane ops)
+    // fits a single batch-8 frame, so the per-op wake rate drops by
+    // exactly the frame factor.
+    assert!(
+        batched_wakes * OPS_PER_SESSION <= sync_wakes,
+        "batch-8 frames must amortize the doorbell 4x over this mix \
+         ({batched_wakes} vs {sync_wakes})"
     );
 }

@@ -358,6 +358,84 @@ fn request_attribution_reconciles_on_the_real_stack() {
 }
 
 #[test]
+fn aborted_batches_leak_no_open_spans() {
+    // Span hygiene under TDR mid-batch: a gpu-heavy plan fires hangs
+    // and context kills while explicit batched frames are in flight.
+    // `flush` aborts the interrupted batch tail, recovers through the
+    // watchdog, and resubmits — and afterwards *every* span must be
+    // closed (the enclave-side `cmdq.submit` frame span, the
+    // per-command request windows, the watchdog recovery spans) and
+    // request attribution must still reconcile ±0.
+    use hix_core::CmdStatus;
+    use hix_sim::fault::{FaultConfig, FaultPlan};
+    let mut m = standard_rig(RigOptions {
+        kernels: all_kernels(),
+        ..RigOptions::default()
+    });
+    m.trace().set_recording(true);
+    m.trace().obs().set_attributing(true);
+    m.set_fault_plan(FaultPlan::new(0xBA7C_4B02, FaultConfig::gpu_heavy()));
+    let mut enclave = GpuEnclave::launch(
+        &mut m,
+        GpuEnclaveOptions {
+            evict_after: u32::MAX,
+            ..GpuEnclaveOptions::default()
+        },
+    )
+    .unwrap();
+    for round in 0..6 {
+        let mut s = HixSession::connect(&mut m, &mut enclave).unwrap();
+        let n = 16u64;
+        let bytes = n * n * 4;
+        let a = s.malloc(&mut m, &mut enclave, bytes).unwrap();
+        let b = s.malloc(&mut m, &mut enclave, bytes).unwrap();
+        let c = s.malloc(&mut m, &mut enclave, bytes).unwrap();
+        let ones: Vec<u8> = (0..n * n).flat_map(|_| 1i32.to_le_bytes()).collect();
+        let mut ids = Vec::new();
+        ids.push(s.submit_load_module(&mut m, &mut enclave, "matrix.mul").unwrap());
+        ids.push(s.submit_htod(&mut m, &mut enclave, a, &Payload::from_bytes(ones.clone())).unwrap());
+        ids.push(s.submit_htod(&mut m, &mut enclave, b, &Payload::from_bytes(ones)).unwrap());
+        ids.push(
+            s.submit_launch(&mut m, &mut enclave, "matrix.mul", &[
+                a.value(),
+                b.value(),
+                c.value(),
+                n,
+            ])
+            .unwrap(),
+        );
+        ids.push(s.submit_sync(&mut m, &mut enclave).unwrap());
+        s.flush(&mut m, &mut enclave)
+            .unwrap_or_else(|e| panic!("round {round}: flush under gpu faults: {e}"));
+        let comps = s.take_completions();
+        assert_eq!(comps.iter().map(|(id, _)| *id).collect::<Vec<_>>(), ids);
+        for (id, status) in &comps {
+            assert_eq!(status, &CmdStatus::Ok, "round {round}: command {id} failed");
+        }
+        let back = s.memcpy_dtoh(&mut m, &mut enclave, c, bytes).unwrap();
+        let expect: Vec<u8> = (0..n * n).flat_map(|_| (n as i32).to_le_bytes()).collect();
+        assert_eq!(back.bytes(), &expect[..], "recovery must preserve the result");
+        s.close(&mut m, &mut enclave).unwrap();
+    }
+    let mx = m.trace().metrics();
+    assert!(
+        mx.counter("watchdog.hangs_detected") > 0,
+        "the gpu-heavy plan must trip the watchdog mid-run"
+    );
+    assert!(
+        mx.counter("cmdq.batch_aborts") > 0,
+        "at least one TDR must land mid-batch for this test to bite"
+    );
+    let spans = m.trace().obs().spans();
+    let open: Vec<_> = spans.iter().filter(|s| s.is_open()).collect();
+    assert!(open.is_empty(), "aborted batches leaked open spans: {open:?}");
+    m.trace()
+        .obs()
+        .check_attribution()
+        .expect("attribution reconciles +-0 after mid-batch TDRs");
+}
+
+#[test]
 fn security_events_fire_on_lockdown_and_denials() {
     let mut m = standard_rig(RigOptions::default());
     m.trace().clear();
