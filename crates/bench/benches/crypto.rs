@@ -6,47 +6,107 @@
 //! reports (wall-clock numbers vary by host, so unlike `BENCH_perf` and
 //! `BENCH_scale` this file is informational, never byte-compared).
 //!
-//! Usage: `cargo bench --bench crypto [-- OUT.json]`.
+//! The seal/open rows run the zero-allocation `seal_into`/`open_into`
+//! multi-block paths into preallocated buffers — the same hot path the
+//! DMA pipeline uses — so the open/seal ratio reflects cipher asymmetry,
+//! not allocator noise.
+//!
+//! Usage:
+//!   cargo bench --bench crypto [-- OUT.json]     run and emit
+//!   cargo bench --bench crypto -- --check FILE   parse + validate only
 
 use std::fmt::Write as _;
 
+use hix_bench::json::{parse_json, Json};
 use hix_crypto::drbg::HmacDrbg;
-use hix_crypto::ocb::{Key, Nonce, Ocb};
-use hix_crypto::{aes::Aes128, sha256};
+use hix_crypto::ocb::{Key, Nonce, Ocb, TAG_LEN};
+use hix_crypto::{
+    aes::{Aes128, WIDE_BATCH},
+    sha256,
+};
 use hix_testkit::bench::{black_box, Bench, Measurement};
 
-fn bench_aes_block() -> Measurement {
+/// Row names the ledger must always carry (the ablation gates and the
+/// CI smoke key on these).
+const REQUIRED_ROWS: &[&str] = &[
+    "aes128/encrypt_block",
+    "aes128/decrypt_block",
+    "aes128/encrypt_blocks/8wide",
+    "aes128/decrypt_blocks/8wide",
+    "ocb/seal/4KiB",
+    "ocb/seal/64KiB",
+    "ocb/seal/1024KiB",
+    "ocb/open/4KiB",
+    "ocb/open/64KiB",
+    "ocb/open/1024KiB",
+    "sha256/64KiB",
+    "dh/sim-group-agreement",
+];
+
+fn bench_aes_block(rows: &mut Vec<Measurement>) {
     let aes = Aes128::new(&[7u8; 16]);
     let mut block = [0x5au8; 16];
-    Bench::new("aes128/encrypt_block").run(|| {
+    rows.push(Bench::new("aes128/encrypt_block").run(|| {
         block = aes.encrypt_block(black_box(block));
         block
-    })
+    }));
+    let mut block = [0xa5u8; 16];
+    rows.push(Bench::new("aes128/decrypt_block").run(|| {
+        block = aes.decrypt_block(black_box(block));
+        block
+    }));
 }
 
-fn bench_ocb_seal(out: &mut Vec<Measurement>) {
+fn bench_aes_wide(rows: &mut Vec<Measurement>) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let mut blocks = [[0x5au8; 16]; WIDE_BATCH];
+    let bytes = (WIDE_BATCH * 16) as u64;
+    rows.push(
+        Bench::new("aes128/encrypt_blocks/8wide")
+            .throughput_bytes(bytes)
+            .run(|| aes.encrypt_blocks(black_box(&mut blocks))),
+    );
+    rows.push(
+        Bench::new("aes128/decrypt_blocks/8wide")
+            .throughput_bytes(bytes)
+            .run(|| aes.decrypt_blocks(black_box(&mut blocks))),
+    );
+}
+
+fn bench_ocb_seal(rows: &mut Vec<Measurement>) {
     let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
     for kib in [4u64, 64, 1024] {
         let data = vec![0xabu8; (kib * 1024) as usize];
+        let mut out = vec![0u8; data.len() + TAG_LEN];
         let mut counter = 0u64;
-        out.push(
+        rows.push(
             Bench::new(format!("ocb/seal/{kib}KiB"))
                 .throughput_bytes(kib * 1024)
                 .run(|| {
                     counter += 1;
-                    ocb.seal(&Nonce::from_counter(counter), b"aad", &data)
+                    ocb.seal_into(&Nonce::from_counter(counter), b"aad", &data, &mut out);
+                    out[0]
                 }),
         );
     }
 }
 
-fn bench_ocb_open() -> Measurement {
+fn bench_ocb_open(rows: &mut Vec<Measurement>) {
     let ocb = Ocb::new(&Key::from_bytes([3u8; 16]));
-    let data = vec![0xabu8; 64 * 1024];
-    let sealed = ocb.seal(&Nonce::from_counter(1), b"aad", &data);
-    Bench::new("ocb/open/64KiB")
-        .throughput_bytes(64 * 1024)
-        .run(|| ocb.open(&Nonce::from_counter(1), b"aad", &sealed).unwrap())
+    for kib in [4u64, 64, 1024] {
+        let data = vec![0xabu8; (kib * 1024) as usize];
+        let sealed = ocb.seal(&Nonce::from_counter(1), b"aad", &data);
+        let mut out = vec![0u8; data.len()];
+        rows.push(
+            Bench::new(format!("ocb/open/{kib}KiB"))
+                .throughput_bytes(kib * 1024)
+                .run(|| {
+                    ocb.open_into(&Nonce::from_counter(1), b"aad", &sealed, &mut out)
+                        .unwrap();
+                    out[0]
+                }),
+        );
+    }
 }
 
 fn bench_sha256() -> Measurement {
@@ -93,24 +153,91 @@ fn emit_json(rows: &[Measurement]) -> String {
     s
 }
 
+/// Schema-validates a crypto ledger: parses, checks the bench tag, row
+/// fields, and that every required row is present with sane values.
+fn validate(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("bench").and_then(Json::as_str) != Some("crypto") {
+        return Err("bench tag is not \"crypto\"".into());
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing rows array")?;
+    let mut names = Vec::new();
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("row without a name")?;
+        for field in ["median_ns", "p95_ns", "min_ns", "iters", "throughput_bytes", "mib_per_sec"] {
+            let v = row
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("row {name}: missing {field}"))?;
+            if v < 0.0 {
+                return Err(format!("row {name}: negative {field}"));
+            }
+        }
+        if row.get("median_ns").and_then(Json::as_num) == Some(0.0) {
+            return Err(format!("row {name}: zero median"));
+        }
+        names.push(name.to_string());
+    }
+    for required in REQUIRED_ROWS {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("required row missing: {required}"));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a == "--check" || !a.starts_with('-'))
+        .collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("crypto bench: --check needs a file path");
+            std::process::exit(1);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("crypto bench: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = validate(&text) {
+            eprintln!("crypto bench: {path} FAILED validation: {e}");
+            std::process::exit(1);
+        }
+        println!("crypto bench: {path} validates");
+        return;
+    }
+
     let mut rows = Vec::new();
-    rows.push(bench_aes_block());
+    bench_aes_block(&mut rows);
+    bench_aes_wide(&mut rows);
     bench_ocb_seal(&mut rows);
-    rows.push(bench_ocb_open());
+    bench_ocb_open(&mut rows);
     rows.push(bench_sha256());
     rows.push(bench_dh_handshake());
 
     // cargo passes harness flags like `--bench` and runs the bench with
     // the package as CWD; the output path is the first non-flag
     // argument, defaulting to the workspace-root ledger name.
-    let out_path = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| {
-            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crypto.json").into()
-        });
+    let out_path = args.into_iter().next().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crypto.json").into()
+    });
     let json = emit_json(&rows);
+    // Self-check: what we emit must round-trip through the shared
+    // reader and satisfy the same schema `--check` enforces.
+    if let Err(e) = validate(&json) {
+        eprintln!("crypto bench: emitted JSON fails its own schema: {e}");
+        std::process::exit(1);
+    }
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("crypto bench: cannot write {out_path}: {e}");
         std::process::exit(1);

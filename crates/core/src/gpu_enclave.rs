@@ -18,7 +18,7 @@ use hix_platform::sgx::SgxError;
 use hix_platform::{Machine, ProcessId, VirtAddr};
 use hix_sim::cost::ExecMode;
 use hix_sim::fault::{EscalationLadder, WatchdogAction};
-use hix_sim::{EventKind, Nanos, COUNT_BOUNDS};
+use hix_sim::{CryptoDmaPipeline, EventKind, Nanos, COUNT_BOUNDS};
 
 use crate::attest::{self, AttestError};
 use crate::channel::{sealed_stream_len, ChannelError, Endpoint, BULK_OFFSET};
@@ -235,6 +235,11 @@ pub struct GpuEnclave {
     use_seq: u64,
     park_seq: u64,
     max_resident: usize,
+    /// The machine's shared secure-transfer engines (enclave crypto +
+    /// DMA). One instance for *all* sessions: back-to-back transfers —
+    /// same frame or different sessions — overlap chunkwise, and a busy
+    /// engine honestly delays whoever arrives next.
+    xfer_pipe: CryptoDmaPipeline,
 }
 
 impl std::fmt::Debug for GpuEnclave {
@@ -384,12 +389,19 @@ impl GpuEnclave {
             use_seq: 0,
             park_seq: 0,
             max_resident: options.max_resident.max(1),
+            xfer_pipe: CryptoDmaPipeline::new(),
         })
     }
 
     /// The enclave's process.
     pub fn pid(&self) -> ProcessId {
         self.pid
+    }
+
+    /// The shared secure-transfer pipeline engines. Exposed read-only for
+    /// tests and reports; all bookings go through the service loop.
+    pub fn xfer_pipeline(&self) -> &CryptoDmaPipeline {
+        &self.xfer_pipe
     }
 
     /// The owned GPU.
@@ -927,6 +939,12 @@ impl GpuEnclave {
             &[("session", session as u64), ("cmds", cmds.len() as u64)],
         );
         let model = machine.model().clone();
+        // A frame's sealed HtoD chunks were all staged when the frame was
+        // built, so every transfer in it is ready the moment the frame is
+        // served: transfers book the shared engines from here, letting a
+        // later command's crypto fill hide under an earlier command's DMA
+        // and kernel tail (and under other sessions' still-draining work).
+        let frame_ready = machine.clock().now();
         let mut entries = Vec::with_capacity(cmds.len());
         for cmd in cmds {
             let name: &'static str = match &cmd.req {
@@ -967,10 +985,16 @@ impl GpuEnclave {
             let attr = obs.begin_request(start.as_nanos(), session as u64, name);
             let result = self.handle(machine, session, cmd.req);
             if let (Ok(Response::Ok), Some(len)) = (&result, htod_len) {
-                // Time plane at retirement: the pipelined closed form,
-                // merged with whatever the device already charged —
-                // exactly where the synchronous client pinned it.
-                machine.clock().advance_to(start + model.hix_htod(len));
+                // Time plane at retirement: book the transfer's chunk walk
+                // on the shared engines, merged with whatever the device
+                // already charged. With idle engines (every synchronous
+                // single-command frame) this is exactly the closed form
+                // `start + hix_htod(len)` the synchronous client pins;
+                // inside a batched frame the booking chains through the
+                // engine cursors instead, so consecutive transfers overlap
+                // rather than serialize.
+                let done = self.xfer_pipe.htod(&model, frame_ready, len);
+                machine.clock().advance_to(done);
             }
             if let Some(id) = attr {
                 obs.end_request(id, machine.clock().now().as_nanos());
@@ -1139,6 +1163,16 @@ impl GpuEnclave {
                 if chunk + hix_crypto::ocb::TAG_LEN as u64 > staging_len {
                     return Ok(Response::Err("chunk exceeds staging".into()));
                 }
+                // Book the readback on the shared transfer engines. The
+                // chunk walk below charges device time functionally; the
+                // booking records engine occupancy (so later transfers of
+                // any session see it) and floors the clock at the walk's
+                // pipelined completion.
+                let dtoh_done = {
+                    let model = machine.model().clone();
+                    let now = machine.clock().now();
+                    self.xfer_pipe.dtoh(&model, now, len)
+                };
                 let mut off = 0u64;
                 let mut index = 0u64;
                 let mut failure: Option<EngineError> = None;
@@ -1172,7 +1206,10 @@ impl GpuEnclave {
                     index += 1;
                 }
                 match failure {
-                    None => Response::Ok,
+                    None => {
+                        machine.clock().advance_to(dtoh_done);
+                        Response::Ok
+                    }
                     Some(e) => self.engine_outcome(Err(e))?,
                 }
             }
@@ -1417,6 +1454,9 @@ impl GpuEnclave {
         for state in self.sessions.values_mut() {
             state.stale = true;
         }
+        // The reset killed all in-flight transfers; the transfer plane
+        // comes back with idle engines.
+        self.xfer_pipe.reset();
         machine.trace().emit(
             machine.clock().now(),
             Nanos::ZERO,

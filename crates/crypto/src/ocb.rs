@@ -4,8 +4,15 @@
 //! untrusted medium: the inter-enclave shared memory, the DMA buffers, and
 //! the GPU-side crypto kernels (§4.3.3, §5.2 — "OCB-AES-128 authenticated
 //! encryption"). Verified against the RFC 7253 Appendix A vectors.
+//!
+//! The bulk paths are built for throughput: [`Ocb::seal_into`] /
+//! [`Ocb::open_into`] are zero-allocation, walk the message
+//! [`WIDE_BATCH`] blocks at a time (precomputing the offset ladder for
+//! each pass and handing the whole batch to the wide AES core), and fuse
+//! the checksum accumulation into the same pass. [`Ocb::seal`] /
+//! [`Ocb::open`] are thin allocating wrappers over them.
 
-use crate::aes::{Aes128, Block, BLOCK};
+use crate::aes::{Aes128, Block, BLOCK, WIDE_BATCH};
 use crate::ct_eq;
 
 /// Authentication tag length in bytes (TAGLEN = 128 bits).
@@ -138,6 +145,23 @@ impl Ocb {
         }
     }
 
+    /// Returns a clone of this keyed context pinned to the portable AES
+    /// backend (see [`Aes128::portable`]); the differential suite uses it
+    /// to exercise the software wide path on AES-NI machines.
+    pub fn portable(&self) -> Self {
+        Ocb {
+            aes: self.aes.portable(),
+            l_star: self.l_star,
+            l_dollar: self.l_dollar,
+            l: self.l.clone(),
+        }
+    }
+
+    /// The AES backend this context runs on (see [`Aes128::backend`]).
+    pub fn backend(&self) -> &'static str {
+        self.aes.backend()
+    }
+
     fn initial_offset(&self, nonce: &Nonce) -> Block {
         // TAGLEN = 128 -> the 7-bit tag field is zero.
         let mut full = [0u8; 16];
@@ -166,17 +190,39 @@ impl Ocb {
         offset
     }
 
+    /// Advances the offset ladder across one wide pass: offsets for blocks
+    /// `base+1 ..= base+k` (1-indexed as in the RFC), leaving `offset` at
+    /// the last rung.
+    #[inline]
+    fn ladder(&self, offset: &mut Block, base: usize, k: usize, offs: &mut [Block; WIDE_BATCH]) {
+        for (j, o) in offs.iter_mut().enumerate().take(k) {
+            let i = (base + j) as u64 + 1;
+            *offset = xor(offset, &self.l[i.trailing_zeros() as usize]);
+            *o = *offset;
+        }
+    }
+
     fn hash_aad(&self, aad: &[u8]) -> Block {
         let mut sum = [0u8; 16];
         let mut offset = [0u8; 16];
-        let mut chunks = aad.chunks_exact(BLOCK);
-        for (index, chunk) in (&mut chunks).enumerate() {
-            let i = index as u64 + 1;
-            offset = xor(&offset, &self.l[i.trailing_zeros() as usize]);
-            let block: Block = chunk.try_into().unwrap();
-            sum = xor(&sum, &self.aes.encrypt_block(xor(&block, &offset)));
+        let full = aad.len() / BLOCK;
+        let mut offs = [[0u8; 16]; WIDE_BATCH];
+        let mut blocks = [[0u8; 16]; WIDE_BATCH];
+        let mut done = 0;
+        while done < full {
+            let k = WIDE_BATCH.min(full - done);
+            self.ladder(&mut offset, done, k, &mut offs);
+            for j in 0..k {
+                blocks[j].copy_from_slice(&aad[(done + j) * BLOCK..][..BLOCK]);
+                blocks[j] = xor(&blocks[j], &offs[j]);
+            }
+            self.aes.encrypt_blocks(&mut blocks[..k]);
+            for b in blocks.iter().take(k) {
+                sum = xor(&sum, b);
+            }
+            done += k;
         }
-        let rest = chunks.remainder();
+        let rest = &aad[full * BLOCK..];
         if !rest.is_empty() {
             offset = xor(&offset, &self.l_star);
             let mut block = [0u8; 16];
@@ -188,27 +234,57 @@ impl Ocb {
     }
 
     /// Encrypts `plaintext` bound to `aad`, returning `ciphertext || tag`.
+    ///
+    /// Allocating wrapper over [`Self::seal_into`].
     pub fn seal(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; plaintext.len() + TAG_LEN];
+        self.seal_into(nonce, aad, plaintext, &mut out);
+        out
+    }
+
+    /// Encrypts `plaintext` bound to `aad` into `out` without allocating.
+    ///
+    /// `out` must be exactly `plaintext.len() + TAG_LEN` bytes; it receives
+    /// `ciphertext || tag`. The message is processed [`WIDE_BATCH`] blocks
+    /// per pass — the offset ladder for the pass is precomputed, the batch
+    /// goes through the wide AES core, and the plaintext checksum is
+    /// accumulated in the same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != plaintext.len() + TAG_LEN`.
+    pub fn seal_into(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8], out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            plaintext.len() + TAG_LEN,
+            "seal_into: out must hold ciphertext || tag"
+        );
         let mut offset = self.initial_offset(nonce);
         let mut checksum = [0u8; 16];
-        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
-        let mut chunks = plaintext.chunks_exact(BLOCK);
-        for (index, chunk) in (&mut chunks).enumerate() {
-            let i = index as u64 + 1;
-            let block: Block = chunk.try_into().unwrap();
-            offset = xor(&offset, &self.l[i.trailing_zeros() as usize]);
-            out.extend_from_slice(&xor(
-                &offset,
-                &self.aes.encrypt_block(xor(&block, &offset)),
-            ));
-            checksum = xor(&checksum, &block);
+        let full = plaintext.len() / BLOCK;
+        let mut offs = [[0u8; 16]; WIDE_BATCH];
+        let mut blocks = [[0u8; 16]; WIDE_BATCH];
+        let mut done = 0;
+        while done < full {
+            let k = WIDE_BATCH.min(full - done);
+            self.ladder(&mut offset, done, k, &mut offs);
+            for j in 0..k {
+                blocks[j].copy_from_slice(&plaintext[(done + j) * BLOCK..][..BLOCK]);
+                checksum = xor(&checksum, &blocks[j]);
+                blocks[j] = xor(&blocks[j], &offs[j]);
+            }
+            self.aes.encrypt_blocks(&mut blocks[..k]);
+            for j in 0..k {
+                out[(done + j) * BLOCK..][..BLOCK].copy_from_slice(&xor(&blocks[j], &offs[j]));
+            }
+            done += k;
         }
-        let rest = chunks.remainder();
+        let rest = &plaintext[full * BLOCK..];
         if !rest.is_empty() {
             offset = xor(&offset, &self.l_star);
             let pad = self.aes.encrypt_block(offset);
-            for (p, k) in rest.iter().zip(&pad) {
-                out.push(p ^ k);
+            for (i, (p, k)) in rest.iter().zip(&pad).enumerate() {
+                out[full * BLOCK + i] = p ^ k;
             }
             let mut padded = [0u8; 16];
             padded[..rest.len()].copy_from_slice(rest);
@@ -217,11 +293,12 @@ impl Ocb {
         }
         let tag_body = xor(&xor(&checksum, &offset), &self.l_dollar);
         let tag = xor(&self.aes.encrypt_block(tag_body), &self.hash_aad(aad));
-        out.extend_from_slice(&tag);
-        out
+        out[plaintext.len()..].copy_from_slice(&tag);
     }
 
     /// Decrypts `sealed` (`ciphertext || tag`) bound to `aad`.
+    ///
+    /// Allocating wrapper over [`Self::open_into`].
     ///
     /// # Errors
     ///
@@ -231,26 +308,71 @@ impl Ocb {
         if sealed.len() < TAG_LEN {
             return Err(TagMismatch);
         }
+        let mut out = vec![0u8; sealed.len() - TAG_LEN];
+        self.open_into(nonce, aad, sealed, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decrypts `sealed` (`ciphertext || tag`) into `out` without
+    /// allocating; the mirror of [`Self::seal_into`], running the wide
+    /// decrypt path so open costs the same as seal.
+    ///
+    /// `out` must be exactly `sealed.len() - TAG_LEN` bytes. On tag
+    /// mismatch `out` is zeroed before returning, so no plaintext is
+    /// released on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMismatch`] if the input is shorter than a tag or the
+    /// tag fails to verify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sealed` holds a tag but `out.len() != sealed.len() - TAG_LEN`.
+    pub fn open_into(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), TagMismatch> {
+        if sealed.len() < TAG_LEN {
+            return Err(TagMismatch);
+        }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        assert_eq!(
+            out.len(),
+            ciphertext.len(),
+            "open_into: out must hold the plaintext"
+        );
         let mut offset = self.initial_offset(nonce);
         let mut checksum = [0u8; 16];
-        let mut out = Vec::with_capacity(ciphertext.len());
-        let mut chunks = ciphertext.chunks_exact(BLOCK);
-        for (index, chunk) in (&mut chunks).enumerate() {
-            let i = index as u64 + 1;
-            let block: Block = chunk.try_into().unwrap();
-            offset = xor(&offset, &self.l[i.trailing_zeros() as usize]);
-            let p = xor(&offset, &self.aes.decrypt_block(xor(&block, &offset)));
-            out.extend_from_slice(&p);
-            checksum = xor(&checksum, &p);
+        let full = ciphertext.len() / BLOCK;
+        let mut offs = [[0u8; 16]; WIDE_BATCH];
+        let mut blocks = [[0u8; 16]; WIDE_BATCH];
+        let mut done = 0;
+        while done < full {
+            let k = WIDE_BATCH.min(full - done);
+            self.ladder(&mut offset, done, k, &mut offs);
+            for j in 0..k {
+                blocks[j].copy_from_slice(&ciphertext[(done + j) * BLOCK..][..BLOCK]);
+                blocks[j] = xor(&blocks[j], &offs[j]);
+            }
+            self.aes.decrypt_blocks(&mut blocks[..k]);
+            for j in 0..k {
+                let p = xor(&blocks[j], &offs[j]);
+                checksum = xor(&checksum, &p);
+                out[(done + j) * BLOCK..][..BLOCK].copy_from_slice(&p);
+            }
+            done += k;
         }
-        let rest = chunks.remainder();
+        let rest = &ciphertext[full * BLOCK..];
         if !rest.is_empty() {
             offset = xor(&offset, &self.l_star);
             let pad = self.aes.encrypt_block(offset);
-            let start = out.len();
-            for (c, k) in rest.iter().zip(&pad) {
-                out.push(c ^ k);
+            let start = full * BLOCK;
+            for (i, (c, k)) in rest.iter().zip(&pad).enumerate() {
+                out[start + i] = c ^ k;
             }
             let mut padded = [0u8; 16];
             padded[..rest.len()].copy_from_slice(&out[start..]);
@@ -260,8 +382,9 @@ impl Ocb {
         let tag_body = xor(&xor(&checksum, &offset), &self.l_dollar);
         let expect = xor(&self.aes.encrypt_block(tag_body), &self.hash_aad(aad));
         if ct_eq(&expect, tag) {
-            Ok(out)
+            Ok(())
         } else {
+            out.fill(0);
             Err(TagMismatch)
         }
     }
@@ -397,15 +520,68 @@ mod tests {
     }
 
     #[test]
+    fn rfc7253_iterated_wide_test_portable_backend() {
+        // Same iterated check value with the wide path pinned to the
+        // portable table backend.
+        let key = Key::from_bytes({
+            let mut k = [0u8; 16];
+            k[15] = 128;
+            k
+        });
+        let ocb = Ocb::new(&key).portable();
+        let nonce_of = |n: u32| {
+            let mut b = [0u8; NONCE_LEN];
+            b[8..].copy_from_slice(&n.to_be_bytes());
+            Nonce::from_bytes(b)
+        };
+        let mut c = Vec::new();
+        for i in 0u32..128 {
+            let s = vec![0u8; i as usize];
+            c.extend(ocb.seal(&nonce_of(3 * i + 1), &s, &s));
+            c.extend(ocb.seal(&nonce_of(3 * i + 2), b"", &s));
+            c.extend(ocb.seal(&nonce_of(3 * i + 3), &s, b""));
+        }
+        let out = ocb.seal(&nonce_of(385), &c, b"");
+        assert_eq!(out, hex("67E944D23256C5E0B6C61FA22FDF1EA2"));
+    }
+
+    #[test]
     fn roundtrip_many_lengths() {
         let ocb = Ocb::new(&rfc_key());
-        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 127, 128, 129, 1000] {
             let p: Vec<u8> = (0..len as u32).map(|i| i as u8).collect();
             let n = Nonce::from_counter(len as u64);
             let sealed = ocb.seal(&n, b"hdr", &p);
             assert_eq!(sealed.len(), len + TAG_LEN);
             assert_eq!(ocb.open(&n, b"hdr", &sealed).unwrap(), p, "len {len}");
         }
+    }
+
+    #[test]
+    fn seal_into_open_into_match_allocating_paths() {
+        let ocb = Ocb::new(&rfc_key());
+        for len in [0usize, 1, 15, 16, 17, 127, 128, 129, 1000] {
+            let p: Vec<u8> = (0..len as u32).map(|i| (i * 7) as u8).collect();
+            let n = Nonce::from_counter(1000 + len as u64);
+            let sealed = ocb.seal(&n, b"hdr", &p);
+            let mut buf = vec![0u8; len + TAG_LEN];
+            ocb.seal_into(&n, b"hdr", &p, &mut buf);
+            assert_eq!(buf, sealed, "len {len}");
+            let mut plain = vec![0xffu8; len];
+            ocb.open_into(&n, b"hdr", &buf, &mut plain).unwrap();
+            assert_eq!(plain, p, "len {len}");
+        }
+    }
+
+    #[test]
+    fn open_into_zeroes_output_on_mismatch() {
+        let ocb = Ocb::new(&rfc_key());
+        let n = Nonce::from_counter(1);
+        let mut sealed = ocb.seal(&n, b"a", &[0x5au8; 40]);
+        sealed[3] ^= 1;
+        let mut out = vec![0xffu8; 40];
+        assert_eq!(ocb.open_into(&n, b"a", &sealed, &mut out), Err(TagMismatch));
+        assert!(out.iter().all(|&b| b == 0), "plaintext must not leak on failure");
     }
 
     #[test]

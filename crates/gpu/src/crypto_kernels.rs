@@ -6,8 +6,14 @@
 //! three-party handshake); DtoH runs the mirror-image encryption kernel
 //! before the DMA out. Nonces are per-direction counters supplied by the
 //! GPU enclave.
+//!
+//! The kernels run against the context's **cached** keyed OCB context
+//! ([`KernelExec::session_ocb`]): the key schedule and 64-entry L-table
+//! are expanded once per session-key install (and re-expanded on every
+//! rekey/epoch bump), not per launch, and the bulk bytes go through the
+//! zero-allocation `seal_into`/`open_into` wide paths.
 
-use hix_crypto::ocb::{Key, Nonce, Ocb, TAG_LEN};
+use hix_crypto::ocb::{Nonce, TAG_LEN};
 use hix_sim::{CostModel, Nanos};
 
 use crate::kernel::{GpuKernel, KernelError, KernelExec};
@@ -45,11 +51,10 @@ impl GpuKernel for OcbDecryptKernel {
         if sealed_len < TAG_LEN {
             return Err(KernelError::BadArgs("sealed buffer shorter than a tag"));
         }
-        let key = exec.session_key().ok_or(KernelError::BadArgs("no session key"))?;
+        let ocb = exec.session_ocb().ok_or(KernelError::BadArgs("no session key"))?;
         let sealed = exec.read_vec(src, sealed_len)?;
-        let ocb = Ocb::new(&Key::from_bytes(key));
-        let plain = ocb
-            .open(&Nonce::from_counter(counter), DATA_AAD, &sealed)
+        let mut plain = vec![0u8; sealed_len - TAG_LEN];
+        ocb.open_into(&Nonce::from_counter(counter), DATA_AAD, &sealed, &mut plain)
             .map_err(|_| KernelError::IntegrityFailure)?;
         exec.write(dst, &plain)
     }
@@ -74,10 +79,10 @@ impl GpuKernel for OcbEncryptKernel {
         let len = exec.arg(1)? as usize;
         let dst = DevAddr(exec.arg(2)?);
         let counter = exec.arg(3)?;
-        let key = exec.session_key().ok_or(KernelError::BadArgs("no session key"))?;
+        let ocb = exec.session_ocb().ok_or(KernelError::BadArgs("no session key"))?;
         let plain = exec.read_vec(src, len)?;
-        let ocb = Ocb::new(&Key::from_bytes(key));
-        let sealed = ocb.seal(&Nonce::from_counter(counter), DATA_AAD, &plain);
+        let mut sealed = vec![0u8; len + TAG_LEN];
+        ocb.seal_into(&Nonce::from_counter(counter), DATA_AAD, &plain, &mut sealed);
         exec.write(dst, &sealed)
     }
 }
@@ -111,19 +116,26 @@ impl GpuKernel for OcbDecryptStreamKernel {
         if chunk == 0 {
             return Err(KernelError::BadArgs("zero chunk size"));
         }
-        let key = exec.session_key().ok_or(KernelError::BadArgs("no session key"))?;
-        let ocb = Ocb::new(&Key::from_bytes(key));
+        let ocb = exec.session_ocb().ok_or(KernelError::BadArgs("no session key"))?;
+        // One pair of staging buffers for the whole stream, reused across
+        // chunks (previously: two fresh allocations per chunk).
+        let mut sealed = vec![0u8; chunk as usize + TAG_LEN];
+        let mut plain = vec![0u8; chunk as usize];
         let mut done = 0u64;
         let mut index = 0u64;
         while done < plain_len {
-            let this = chunk.min(plain_len - done);
+            let this = chunk.min(plain_len - done) as usize;
             let sealed_off = index * (chunk + TAG_LEN as u64);
-            let sealed = exec.read_vec(buf.offset(sealed_off), (this + TAG_LEN as u64) as usize)?;
-            let plain = ocb
-                .open(&Nonce::from_counter(nonce_start + index), DATA_AAD, &sealed)
-                .map_err(|_| KernelError::IntegrityFailure)?;
-            exec.write(buf.offset(done), &plain)?;
-            done += this;
+            exec.read(buf.offset(sealed_off), &mut sealed[..this + TAG_LEN])?;
+            ocb.open_into(
+                &Nonce::from_counter(nonce_start + index),
+                DATA_AAD,
+                &sealed[..this + TAG_LEN],
+                &mut plain[..this],
+            )
+            .map_err(|_| KernelError::IntegrityFailure)?;
+            exec.write(buf.offset(done), &plain[..this])?;
+            done += this as u64;
             index += 1;
         }
         Ok(())
@@ -143,6 +155,7 @@ mod tests {
     use crate::ctx::{CtxId, GpuContext};
     use crate::vram::Vram;
     use hix_crypto::ocb;
+    use hix_crypto::ocb::Ocb;
 
     fn ctx_with_key(key: [u8; 16]) -> GpuContext {
         let mut ctx = GpuContext::new(CtxId(1));

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use hix_crypto::ocb::{Key, Ocb};
+
 use crate::vram::{DevAddr, GPU_PAGE_SIZE};
 
 /// Identifies a GPU context (address space).
@@ -37,6 +39,11 @@ pub struct GpuContext {
     id: CtxId,
     page_table: BTreeMap<u64, u64>, // dev vpn -> vram ppn
     session_key: Option<[u8; 16]>,
+    // Keyed OCB context derived from `session_key`, built once per key
+    // install. Every rekey/epoch bump goes through `set_session_key`, so
+    // the cache can never serve a stale key: it lives and dies with the
+    // key it was derived from.
+    session_ocb: Option<Ocb>,
     dh_secret: Option<Vec<u8>>,
 }
 
@@ -47,6 +54,7 @@ impl GpuContext {
             id,
             page_table: BTreeMap::new(),
             session_key: None,
+            session_ocb: None,
             dh_secret: None,
         }
     }
@@ -97,14 +105,25 @@ impl GpuContext {
     }
 
     /// Installs the session key (set by the GPU at the end of the
-    /// three-party key agreement).
+    /// three-party key agreement), expanding the keyed OCB context once so
+    /// the per-transfer crypto kernels never re-run the key schedule or
+    /// L-table build. Called again on every rekey/epoch bump, which
+    /// replaces (invalidates) the cached context atomically with the key.
     pub fn set_session_key(&mut self, key: [u8; 16]) {
         self.session_key = Some(key);
+        self.session_ocb = Some(Ocb::new(&Key::from_bytes(key)));
     }
 
     /// The session key, if agreed.
     pub fn session_key(&self) -> Option<[u8; 16]> {
         self.session_key
+    }
+
+    /// The cached keyed OCB context for the current session key, if one
+    /// was agreed. Always derived from [`Self::session_key`]; the two are
+    /// set together.
+    pub fn session_ocb(&self) -> Option<&Ocb> {
+        self.session_ocb.as_ref()
     }
 
     /// Stores the intermediate/final DH value.
@@ -161,8 +180,27 @@ mod tests {
     fn session_key_storage() {
         let mut ctx = GpuContext::new(CtxId(1));
         assert!(ctx.session_key().is_none());
+        assert!(ctx.session_ocb().is_none());
         ctx.set_session_key([7u8; 16]);
         assert_eq!(ctx.session_key(), Some([7u8; 16]));
+        assert!(ctx.session_ocb().is_some());
+    }
+
+    #[test]
+    fn session_ocb_cache_tracks_rekey() {
+        use hix_crypto::ocb::Nonce;
+        let mut ctx = GpuContext::new(CtxId(1));
+        ctx.set_session_key([7u8; 16]);
+        let before = ctx.session_ocb().unwrap().seal(&Nonce::from_counter(1), b"a", b"pt");
+        // The cached context is exactly the one a fresh build would give.
+        let fresh = Ocb::new(&Key::from_bytes([7u8; 16]));
+        assert_eq!(before, fresh.seal(&Nonce::from_counter(1), b"a", b"pt"));
+        // Rekey (epoch bump) replaces the cache: same nonce, different key,
+        // different ciphertext, and the old context can no longer open it.
+        ctx.set_session_key([8u8; 16]);
+        let after = ctx.session_ocb().unwrap().seal(&Nonce::from_counter(1), b"a", b"pt");
+        assert_ne!(before, after);
+        assert!(fresh.open(&Nonce::from_counter(1), b"a", &after).is_err());
     }
 
     #[test]

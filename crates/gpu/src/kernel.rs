@@ -75,6 +75,15 @@ impl<'a> KernelExec<'a> {
         self.ctx.session_key()
     }
 
+    /// The context's cached keyed OCB context (built once per session-key
+    /// install; see [`GpuContext::session_ocb`]). The crypto kernels use
+    /// this instead of re-expanding the key per launch. The borrow is tied
+    /// to the context, not to `self`, so kernels can keep it across
+    /// mutable VRAM accesses.
+    pub fn session_ocb(&self) -> Option<&'a hix_crypto::ocb::Ocb> {
+        self.ctx.session_ocb()
+    }
+
     /// Reads `buf.len()` bytes at device-virtual `va` (page-crossing).
     ///
     /// # Errors

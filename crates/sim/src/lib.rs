@@ -27,11 +27,13 @@
 pub mod cost;
 pub mod fault;
 pub mod payload;
+pub mod pipeline;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use pipeline::CryptoDmaPipeline;
 pub use hix_obs::{Stage, COUNT_BOUNDS, LATENCY_BOUNDS_NS};
 pub use fault::{Backoff, Dir, FaultConfig, FaultPlan, MsgFault, ReplayWindow, Resequencer, SeqCheck};
 pub use payload::Payload;

@@ -1,0 +1,249 @@
+//! Shared crypto/DMA pipeline engines for the single-copy transfer path.
+//!
+//! The closed forms [`CostModel::hix_htod`] / [`CostModel::hix_dtoh`]
+//! model one transfer in isolation: the enclave crypto stage and the DMA
+//! stage overlap chunk-by-chunk *within* that transfer, but every
+//! transfer implicitly starts with both engines idle. In the real design
+//! (§4.4.2) the SGX crypto core and the DMA engine are physical resources
+//! shared by every session on the machine — when session A's last chunk
+//! is still on the wire, session B's first chunk can already be in the
+//! enclave cipher, and conversely a busy engine delays whoever arrives
+//! next.
+//!
+//! [`CryptoDmaPipeline`] models exactly that: two monotone engine
+//! cursors (`crypt_free`, `dma_free`) persist across transfers — and
+//! across *sessions*, since the GPU enclave owns a single instance for
+//! all of them. Each transfer walks the same
+//! [`pipeline_chunk`](CostModel::pipeline_chunk)-sized chunks as the
+//! closed form, but each chunk's stage start is clamped by the engine
+//! cursor, so:
+//!
+//! - with idle engines a transfer completes at exactly
+//!   `ready + hix_htod(bytes)` (resp. `hix_dtoh`) — the closed forms are
+//!   the idle special case, proven by the unit tests below;
+//! - back-to-back transfers (same frame, or frames of different
+//!   sessions) overlap: the next transfer's crypto fill hides under the
+//!   previous transfer's DMA tail;
+//! - contention is honest: engines serve chunks FIFO, so a transfer
+//!   arriving while an engine is busy is delayed, never reordered.
+
+use crate::cost::CostModel;
+use crate::time::Nanos;
+
+/// Two shared pipeline engines (enclave crypto + DMA) with FIFO cursors
+/// that persist across transfers and sessions. See the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CryptoDmaPipeline {
+    /// Virtual time at which the enclave crypto engine frees up.
+    crypt_free: Nanos,
+    /// Virtual time at which the DMA engine frees up.
+    dma_free: Nanos,
+}
+
+impl CryptoDmaPipeline {
+    /// Both engines idle since the beginning of time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// When the enclave crypto engine frees up.
+    pub fn crypt_free(&self) -> Nanos {
+        self.crypt_free
+    }
+
+    /// When the DMA engine frees up.
+    pub fn dma_free(&self) -> Nanos {
+        self.dma_free
+    }
+
+    /// Forgets all booked work (both engines idle again). Used when the
+    /// platform is reset (secure TDR re-initializes the transfer plane).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Books a secure host-to-device transfer whose sealed chunks are
+    /// staged and ready at `ready`, returning its completion time:
+    /// per-chunk enclave crypt → DMA through the shared engines, then the
+    /// in-GPU decrypt kernel tail (GPU-side, per-context, not a shared
+    /// engine here).
+    ///
+    /// With idle engines this equals `ready + model.hix_htod(bytes)`.
+    pub fn htod(&mut self, model: &CostModel, ready: Nanos, bytes: u64) -> Nanos {
+        if bytes == 0 {
+            return ready;
+        }
+        let chunk = model.pipeline_chunk.max(1);
+        let mut a_done = ready;
+        let mut b_done = ready;
+        let mut off = 0u64;
+        while off < bytes {
+            let n = chunk.min(bytes - off);
+            let a_start = a_done.max(self.crypt_free);
+            a_done = a_start + model.enclave_crypt(n);
+            self.crypt_free = a_done;
+            let b_start = a_done.max(b_done).max(self.dma_free);
+            b_done = b_start + model.dma_setup + Nanos::for_throughput(n, model.pcie_bw);
+            self.dma_free = b_done;
+            off += n;
+        }
+        b_done + model.gpu_crypt(bytes) + model.kernel_launch
+    }
+
+    /// Books a secure device-to-host transfer starting at `ready`,
+    /// returning its completion time: the in-GPU encrypt kernel runs
+    /// first (GPU-side), then the chunks walk DMA → enclave decrypt
+    /// through the shared engines.
+    ///
+    /// With idle engines this equals `ready + model.hix_dtoh(bytes)`.
+    pub fn dtoh(&mut self, model: &CostModel, ready: Nanos, bytes: u64) -> Nanos {
+        if bytes == 0 {
+            return ready;
+        }
+        let start = ready + model.gpu_crypt(bytes) + model.kernel_launch;
+        let chunk = model.pipeline_chunk.max(1);
+        let mut a_done = start;
+        let mut b_done = start;
+        let mut off = 0u64;
+        while off < bytes {
+            let n = chunk.min(bytes - off);
+            let a_start = a_done.max(self.dma_free);
+            a_done = a_start + Nanos::for_throughput(n, model.pcie_bw);
+            self.dma_free = a_done;
+            let b_start = a_done.max(b_done).max(self.crypt_free);
+            b_done = b_start + model.enclave_crypt(n);
+            self.crypt_free = b_done;
+            off += n;
+        }
+        b_done + model.dma_setup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> Vec<u64> {
+        let model = CostModel::paper();
+        let c = model.pipeline_chunk;
+        vec![1, 4096, c - 1, c, c + 1, 3 * c, 3 * c + 1234, 10 * c]
+    }
+
+    #[test]
+    fn idle_htod_equals_closed_form() {
+        let model = CostModel::paper();
+        for bytes in sizes() {
+            let mut pipe = CryptoDmaPipeline::new();
+            let ready = Nanos::from_micros(123);
+            assert_eq!(
+                pipe.htod(&model, ready, bytes),
+                ready + model.hix_htod(bytes),
+                "bytes {bytes}"
+            );
+        }
+        // Zero bytes: nothing booked, completion = ready.
+        let mut pipe = CryptoDmaPipeline::new();
+        assert_eq!(pipe.htod(&model, Nanos::from_micros(5), 0), Nanos::from_micros(5));
+        assert_eq!(pipe, CryptoDmaPipeline::new());
+    }
+
+    #[test]
+    fn idle_dtoh_equals_closed_form() {
+        let model = CostModel::paper();
+        for bytes in sizes() {
+            let mut pipe = CryptoDmaPipeline::new();
+            let ready = Nanos::from_micros(77);
+            assert_eq!(
+                pipe.dtoh(&model, ready, bytes),
+                ready + model.hix_dtoh(bytes),
+                "bytes {bytes}"
+            );
+        }
+        let mut pipe = CryptoDmaPipeline::new();
+        assert_eq!(pipe.dtoh(&model, Nanos::from_micros(5), 0), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn back_to_back_transfers_overlap() {
+        // Two transfers staged at the same instant (e.g. two commands of
+        // one frame, or two sessions' frames served in one wake): the
+        // second finishes earlier than full serialization because its
+        // crypto fill hides under the first one's DMA/kernel tail.
+        let model = CostModel::paper();
+        let bytes = 8 * model.pipeline_chunk;
+        let mut pipe = CryptoDmaPipeline::new();
+        let t1 = pipe.htod(&model, Nanos::ZERO, bytes);
+        let t2 = pipe.htod(&model, Nanos::ZERO, bytes);
+        assert_eq!(t1, model.hix_htod(bytes));
+        assert!(t2 > t1, "second transfer still takes time");
+        let serialized = t1 + model.hix_htod(bytes);
+        assert!(
+            t2 < serialized,
+            "overlap must beat serialization: {t2} vs {serialized}"
+        );
+        // The win is the crypto fill that got hidden; it is bounded by the
+        // single-transfer time.
+        assert!(t2 >= t1 + Nanos::for_throughput(bytes, model.pcie_bw));
+    }
+
+    #[test]
+    fn busy_engines_delay_later_arrivals() {
+        let model = CostModel::paper();
+        let bytes = 4 * model.pipeline_chunk;
+        let mut pipe = CryptoDmaPipeline::new();
+        let t1 = pipe.htod(&model, Nanos::ZERO, bytes);
+        // A transfer arriving while the engines are busy cannot finish as
+        // early as it would on an idle pipeline with the same ready time.
+        let mut idle = CryptoDmaPipeline::new();
+        let contended = pipe.htod(&model, Nanos::ZERO, bytes);
+        let uncontended = idle.htod(&model, Nanos::ZERO, bytes);
+        assert!(contended > uncontended);
+        // But once the engines drain, far-future arrivals see idle timing.
+        let far = t1 + contended;
+        let t3 = pipe.htod(&model, far, bytes);
+        assert_eq!(t3, far + model.hix_htod(bytes));
+    }
+
+    #[test]
+    fn directions_share_the_same_engines() {
+        let model = CostModel::paper();
+        let bytes = 4 * model.pipeline_chunk;
+        let mut pipe = CryptoDmaPipeline::new();
+        let up = pipe.htod(&model, Nanos::ZERO, bytes);
+        // A DtoH issued at time zero is delayed by the HtoD's bookings.
+        let down = pipe.dtoh(&model, Nanos::ZERO, bytes);
+        let mut idle = CryptoDmaPipeline::new();
+        assert!(down > idle.dtoh(&model, Nanos::ZERO, bytes));
+        assert!(up > Nanos::ZERO);
+    }
+
+    #[test]
+    fn reset_forgets_bookings() {
+        let model = CostModel::paper();
+        let mut pipe = CryptoDmaPipeline::new();
+        pipe.htod(&model, Nanos::ZERO, 10 * model.pipeline_chunk);
+        assert!(pipe.crypt_free() > Nanos::ZERO && pipe.dma_free() > Nanos::ZERO);
+        pipe.reset();
+        assert_eq!(pipe, CryptoDmaPipeline::new());
+    }
+
+    #[test]
+    fn engine_cursors_are_monotone_in_arrival_order() {
+        // FIFO engines: each booking pushes both cursors forward, never
+        // back. (End-to-end completions need not be FIFO — the GPU-side
+        // crypto tail is per-context, so a small transfer can finish
+        // before a huge earlier one.)
+        let model = CostModel::paper();
+        let mut pipe = CryptoDmaPipeline::new();
+        let (mut crypt, mut dma) = (Nanos::ZERO, Nanos::ZERO);
+        for (i, bytes) in [1u64, 4096, 1 << 20, 4 << 20, 64, 9 << 20].into_iter().enumerate() {
+            let done = pipe.htod(&model, Nanos::from_micros(i as u64), bytes);
+            assert!(done > Nanos::from_micros(i as u64));
+            assert!(pipe.crypt_free() >= crypt, "i {i}");
+            assert!(pipe.dma_free() >= dma, "i {i}");
+            assert!(pipe.dma_free() >= pipe.crypt_free(), "dma follows crypt, i {i}");
+            crypt = pipe.crypt_free();
+            dma = pipe.dma_free();
+        }
+    }
+}

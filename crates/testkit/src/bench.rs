@@ -29,12 +29,19 @@ pub const WARMUP_NS: u64 = 50_000_000;
 /// Number of timed batches per benchmark.
 pub const BATCHES: usize = 30;
 
+/// Minimum iterations per timed batch. A single iteration gives one
+/// noisy sample per batch — a big row (e.g. sealing 1 MiB) whose cost
+/// hovers around the batch target would calibrate to 1 and report
+/// scheduler jitter as signal. Every batch averages over at least this
+/// many calls.
+pub const MIN_ITERS: u64 = 8;
+
 /// Picks how many iterations one timed batch should run so the batch
 /// lasts about `target_ns`, given an observed per-iteration cost.
 /// Monotone: a longer target or a cheaper operation never yields fewer
-/// iterations.
+/// iterations, and the count never drops below [`MIN_ITERS`].
 pub fn calibrate_iters(per_iter_ns: u64, target_ns: u64) -> u64 {
-    (target_ns / per_iter_ns.max(1)).max(1)
+    (target_ns / per_iter_ns.max(1)).max(MIN_ITERS)
 }
 
 /// One benchmark, identified by a Criterion-style `group/name` label.
@@ -161,11 +168,12 @@ mod tests {
         for per_iter in [1u64, 10, 1_000, 1_000_000, 10_000_000] {
             let iters = calibrate_iters(per_iter, TARGET_BATCH_NS);
             assert!(iters <= prev, "cost {per_iter}: {iters} > {prev}");
-            assert!(iters >= 1, "never zero iterations");
+            assert!(iters >= MIN_ITERS, "never below the floor");
             prev = iters;
         }
-        // An op slower than the whole batch target still runs once.
-        assert_eq!(calibrate_iters(u64::MAX, TARGET_BATCH_NS), 1);
+        // An op slower than the whole batch target still averages over
+        // the minimum batch — one call per batch is too noisy to report.
+        assert_eq!(calibrate_iters(u64::MAX, TARGET_BATCH_NS), MIN_ITERS);
         assert_eq!(calibrate_iters(0, TARGET_BATCH_NS), TARGET_BATCH_NS);
     }
 

@@ -71,6 +71,18 @@ cmp target/perf-a.json target/perf-b.json
 cargo run -q --release --offline -p hix-bench --bin perf_report -- --check target/perf-a.json
 cargo run -q --release --offline -p hix-bench --bin perf_report -- --check BENCH_perf.json
 
+# Crypto-plane smoke: run the wall-clock crypto bench once (emitting to
+# target/, never overwriting the committed ledger — wall-clock numbers
+# are host-specific) and schema-validate both the fresh emission and the
+# committed BENCH_crypto.json through the shared hix_bench::json reader.
+# The bench self-checks its own emission against the same schema, so a
+# row rename or a broken writer fails here, not at review time.
+# (cargo bench runs the binary with CWD at the package root, so paths
+# must be absolute here.)
+cargo bench --offline --bench crypto -- "$PWD/target/crypto-smoke.json"
+cargo bench --offline --bench crypto -- --check "$PWD/target/crypto-smoke.json"
+cargo bench --offline --bench crypto -- --check "$PWD/BENCH_crypto.json"
+
 # Table 2 re-runs the attack-scenario suite and the per-crate TCB LoC
 # accounting (non-fatal here: the test suite above already gates it).
 cargo run -q --release --offline -p hix-bench --bin table2_tcb 2>/dev/null || true

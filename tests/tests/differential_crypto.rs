@@ -1,0 +1,200 @@
+//! Pinned-tape differential suite for the fast crypto plane: the wide
+//! (8-blocks-per-pass) AES core and the zero-allocation OCB
+//! `seal_into`/`open_into` paths are checked byte-for-byte against the
+//! scalar oracle and the allocating reference paths, on both the
+//! hardware and the portable table backend. `differential_crypto.seeds`
+//! is replayed before any new cases are generated.
+
+use hix_crypto::aes::Aes128;
+use hix_crypto::ocb::{Key, Nonce, Ocb, NONCE_LEN, TAG_LEN};
+use hix_testkit::prop::prop;
+
+const SEEDS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/differential_crypto.seeds");
+
+/// Message lengths the DMA plane cares about: empty, sub-block, exact
+/// block, block+1, just under/at/over the 8-block wide-pass boundary,
+/// and a multi-pass tail.
+const PINNED_LENGTHS: &[usize] = &[0, 15, 16, 17, 112, 127, 128, 129, 144, 256, 1000];
+
+fn hex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn wide_aes_matches_scalar_oracle_on_both_backends() {
+    prop("wide_aes_matches_scalar_oracle").corpus(SEEDS).run(|s| {
+        let key = s.array_u8::<16>();
+        let n = (s.u64() % 25) as usize; // crosses 0, one pass, tail
+        let blocks: Vec<[u8; 16]> = (0..n).map(|_| s.array_u8::<16>()).collect();
+        let aes = Aes128::new(&key);
+        for cipher in [Aes128::new(&key), aes.portable()] {
+            // Scalar oracle, block by block.
+            let expect_enc: Vec<[u8; 16]> =
+                blocks.iter().map(|b| aes.encrypt_block(*b)).collect();
+            let expect_dec: Vec<[u8; 16]> =
+                blocks.iter().map(|b| aes.decrypt_block(*b)).collect();
+            let mut wide = blocks.clone();
+            cipher.encrypt_blocks(&mut wide);
+            assert_eq!(wide, expect_enc, "wide encrypt diverged ({:?})", cipher.backend());
+            let mut wide = blocks.clone();
+            cipher.decrypt_blocks(&mut wide);
+            assert_eq!(wide, expect_dec, "wide decrypt diverged ({:?})", cipher.backend());
+            // Inverse property through the wide paths.
+            let mut round = blocks.clone();
+            cipher.encrypt_blocks(&mut round);
+            cipher.decrypt_blocks(&mut round);
+            assert_eq!(round, blocks, "wide decrypt(encrypt) != id");
+        }
+    });
+}
+
+#[test]
+fn into_paths_match_allocating_paths() {
+    prop("into_paths_match_allocating_paths").corpus(SEEDS).run(|s| {
+        let key = s.array_u8::<16>();
+        let counter = s.u64();
+        let aad = s.vec_u8(0..48);
+        // Half the cases draw a pinned boundary length, half free-range.
+        let len = if s.bool() {
+            PINNED_LENGTHS[s.index(PINNED_LENGTHS.len())]
+        } else {
+            s.vec_u8(0..300).len()
+        };
+        let plaintext = s.vec_u8(len..len + 1);
+        let nonce = Nonce::from_counter(counter);
+        for ocb in [Ocb::new(&Key::from_bytes(key)), Ocb::new(&Key::from_bytes(key)).portable()] {
+            let sealed = ocb.seal(&nonce, &aad, &plaintext);
+            let mut sealed_into = vec![0u8; plaintext.len() + TAG_LEN];
+            ocb.seal_into(&nonce, &aad, &plaintext, &mut sealed_into);
+            assert_eq!(sealed_into, sealed, "seal_into diverged from seal");
+            let mut opened_into = vec![0u8; plaintext.len()];
+            ocb.open_into(&nonce, &aad, &sealed, &mut opened_into).unwrap();
+            assert_eq!(opened_into, plaintext, "open_into diverged from plaintext");
+            assert_eq!(ocb.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+        }
+    });
+}
+
+/// RFC 7253 Appendix A sample vectors, driven through the *multi-block*
+/// `seal_into`/`open_into` paths on both backends (the unit tests in
+/// `hix-crypto` pin the same vectors through the allocating paths).
+#[test]
+fn rfc7253_vectors_through_multi_block_paths() {
+    let key = Key::from_bytes(hex("000102030405060708090A0B0C0D0E0F").try_into().unwrap());
+    let nonce = |last: &str| {
+        Nonce::from_bytes(hex(&format!("BBAA9988776655443322110{last}")).try_into().unwrap())
+    };
+    // (nonce suffix, aad, plaintext, expected sealed stream)
+    let vectors: &[(&str, &str, &str, &str)] = &[
+        ("0", "", "", "785407BFFFC8AD9EDCC5520AC9111EE6"),
+        (
+            "1",
+            "0001020304050607",
+            "0001020304050607",
+            "6820B3657B6F615A5725BDA0D3B4EB3A257C9AF1F8F03009",
+        ),
+        ("2", "0001020304050607", "", "81017F8203F081277152FADE694A0A00"),
+        (
+            "3",
+            "",
+            "0001020304050607",
+            "45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9",
+        ),
+        (
+            "4",
+            "000102030405060708090A0B0C0D0E0F",
+            "000102030405060708090A0B0C0D0E0F",
+            "571D535B60B277188BE5147170A9A22C3AD7A4FF3835B8C5701C1CCEC8FC3358",
+        ),
+        (
+            "6",
+            "000102030405060708090A0B0C0D0E0F1011121314151617",
+            "000102030405060708090A0B0C0D0E0F1011121314151617",
+            "5CE88EC2E0692706A915C00AEB8B23968467B2CFBB580496923A4C5285B1F9AE693442EC9CDFB030",
+        ),
+        (
+            "F",
+            "000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F2021222324252627",
+            "000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F2021222324252627",
+            "4412923493C57D5DE0D700F753CCE0D1D2D95060122E9F15A5DDBFC5787E50B5CC55EE507BCB084E240A353649432AC6C1BDA9ACBA93F56D",
+        ),
+    ];
+    for ocb in [Ocb::new(&key), Ocb::new(&key).portable()] {
+        for (last, aad_hex, pt_hex, sealed_hex) in vectors {
+            let aad = hex(aad_hex);
+            let pt = hex(pt_hex);
+            let expect = hex(sealed_hex);
+            let mut sealed = vec![0u8; pt.len() + TAG_LEN];
+            ocb.seal_into(&nonce(last), &aad, &pt, &mut sealed);
+            assert_eq!(
+                sealed, expect,
+                "seal_into vs RFC 7253 N=..{last} ({:?})",
+                ocb.backend()
+            );
+            let mut opened = vec![0u8; pt.len()];
+            ocb.open_into(&nonce(last), &aad, &sealed, &mut opened).unwrap();
+            assert_eq!(opened, pt, "open_into vs RFC 7253 N=..{last}");
+        }
+    }
+}
+
+#[test]
+fn roundtrip_pinned_lengths_both_backends() {
+    let ocb_hw = Ocb::new(&Key::from_bytes([0x42; 16]));
+    let ocb_pt = ocb_hw.portable();
+    for (i, &len) in PINNED_LENGTHS.iter().enumerate() {
+        let plaintext: Vec<u8> = (0..len).map(|j| (j * 31 + i) as u8).collect();
+        let nonce = Nonce::from_counter(i as u64 + 1);
+        let mut sealed = vec![0u8; len + TAG_LEN];
+        ocb_hw.seal_into(&nonce, b"len-sweep", &plaintext, &mut sealed);
+        // Both backends produce the same stream and open each other's.
+        let mut sealed_pt = vec![0u8; len + TAG_LEN];
+        ocb_pt.seal_into(&nonce, b"len-sweep", &plaintext, &mut sealed_pt);
+        assert_eq!(sealed_pt, sealed, "backends diverged at len {len}");
+        let mut opened = vec![0u8; len];
+        ocb_pt.open_into(&nonce, b"len-sweep", &sealed, &mut opened).unwrap();
+        assert_eq!(opened, plaintext, "roundtrip failed at len {len}");
+        // A truncated or grown stream must never authenticate.
+        if len > 0 {
+            let mut short = vec![0u8; len - 1];
+            assert!(ocb_hw
+                .open_into(&nonce, b"len-sweep", &sealed[..len - 1 + TAG_LEN], &mut short)
+                .is_err());
+        }
+    }
+}
+
+/// The iterated RFC 7253 check value computed entirely through
+/// `seal_into` (every length 0..=127 rides the multi-block path).
+#[test]
+fn rfc7253_iterated_check_value_through_seal_into() {
+    let key = Key::from_bytes({
+        let mut k = [0u8; 16];
+        k[15] = 128; // num2str(TAGLEN, 8)
+        k
+    });
+    let nonce_of = |n: u32| {
+        let mut b = [0u8; NONCE_LEN];
+        b[8..].copy_from_slice(&n.to_be_bytes());
+        Nonce::from_bytes(b)
+    };
+    for ocb in [Ocb::new(&key), Ocb::new(&key).portable()] {
+        let mut c = Vec::new();
+        let seal_into = |nonce: Nonce, aad: &[u8], pt: &[u8]| {
+            let mut out = vec![0u8; pt.len() + TAG_LEN];
+            ocb.seal_into(&nonce, aad, pt, &mut out);
+            out
+        };
+        for i in 0u32..128 {
+            let s = vec![0u8; i as usize];
+            c.extend(seal_into(nonce_of(3 * i + 1), &s, &s));
+            c.extend(seal_into(nonce_of(3 * i + 2), b"", &s));
+            c.extend(seal_into(nonce_of(3 * i + 3), &s, b""));
+        }
+        let out = seal_into(nonce_of(385), &c, b"");
+        assert_eq!(out, hex("67E944D23256C5E0B6C61FA22FDF1EA2"));
+    }
+}
