@@ -223,6 +223,18 @@ impl Endpoint {
         self.pid
     }
 
+    /// Rehomes this endpoint onto another process: the shared ring is
+    /// mapped into `pid`'s address space and all further channel I/O
+    /// acts as that process. This is the enclave half of a cross-shard
+    /// session migration — the adopting GPU enclave takes over the
+    /// user's existing ring, wire state intact (sequences, replay
+    /// windows, response cache travel with the endpoint), while the keys
+    /// are replaced by the re-establishment that follows.
+    pub fn rehome(&mut self, machine: &mut Machine, pid: ProcessId) {
+        self.buffer.share_with(machine, pid);
+        self.pid = pid;
+    }
+
     fn read_u64(&self, machine: &mut Machine, off: u64) -> Result<u64, ChannelError> {
         let bytes = self.buffer.read(machine, self.pid, off, 8)?;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))

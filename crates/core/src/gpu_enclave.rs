@@ -196,6 +196,29 @@ struct ParkedSession {
     user_pid: ProcessId,
 }
 
+/// A parked session in transit between two GPU-enclave shards of one
+/// fabric ([`GpuEnclave::export_parked`] →
+/// [`GpuEnclave::adopt_session`]). Carries the channel endpoint plus
+/// the authenticated session record in plaintext — the simulated stand-
+/// in for an attested shard-to-shard transfer channel. Deliberately
+/// opaque: it can only be produced by an export and consumed by an
+/// adoption.
+pub struct MigratedSession {
+    endpoint: Endpoint,
+    user_pid: ProcessId,
+    staging_len: u64,
+    stale: bool,
+}
+
+impl std::fmt::Debug for MigratedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigratedSession")
+            .field("user_pid", &self.user_pid)
+            .field("staging_len", &self.staging_len)
+            .finish()
+    }
+}
+
 /// How an engine operation (submit + watched sync) ended, before it is
 /// folded into a wire [`Response`].
 enum EngineError {
@@ -825,6 +848,124 @@ impl GpuEnclave {
             format!("session {session} unparked: record verified, awaiting re-establishment"),
         );
         Ok(())
+    }
+
+    /// Exports a *parked* session for migration to another GPU-enclave
+    /// shard: the sealed record is opened and authenticated under this
+    /// enclave's park key (charged at `park_unseal`), removed from the
+    /// parked set, and handed over in plaintext form — modeling the
+    /// attested enclave-to-enclave transfer channel two shards of one
+    /// fabric share. Nothing device-side survives the hand-off: the
+    /// session's context and staging were already destroyed (and
+    /// scrubbed) when it parked, so the only state in transit is the
+    /// channel endpoint and the session record.
+    ///
+    /// # Errors
+    ///
+    /// A protocol error for sessions that are not parked here; an
+    /// authentication failure on a tampered record discards the session.
+    pub fn export_parked(
+        &mut self,
+        machine: &mut Machine,
+        session: SessionId,
+    ) -> Result<MigratedSession, HixCoreError> {
+        if !self.parked.contains_key(&session) {
+            return Err(HixCoreError::Protocol(format!(
+                "session {session} is not parked"
+            )));
+        }
+        let cost = machine.model().park_unseal();
+        machine.clock().advance(cost);
+        let p = self.parked.remove(&session).expect("checked above");
+        let record = self
+            .park_cipher(machine, session, p.seq)?
+            .open(&hix_crypto::ocb::Nonce::from_counter(0), b"hix-park", &p.blob)
+            .map_err(|_| {
+                HixCoreError::Protocol("parked session record failed authentication".into())
+            })?;
+        if record.len() != 13 {
+            return Err(HixCoreError::Protocol("malformed parked session record".into()));
+        }
+        let user_pid = ProcessId(u32::from_le_bytes(record[..4].try_into().expect("4 bytes")));
+        if user_pid != p.user_pid {
+            return Err(HixCoreError::Protocol(
+                "parked session record names a different user".into(),
+            ));
+        }
+        machine.trace().metrics().inc("enclave.sessions_exported");
+        machine.trace().emit(
+            machine.clock().now(),
+            cost,
+            EventKind::EnclaveCrypto,
+            format!("session {session} exported for cross-shard migration"),
+        );
+        Ok(MigratedSession {
+            endpoint: p.endpoint,
+            user_pid,
+            staging_len: u64::from_le_bytes(record[4..12].try_into().expect("8 bytes")),
+            stale: record[12] != 0,
+        })
+    }
+
+    /// Adopts a session exported from a peer shard
+    /// ([`GpuEnclave::export_parked`]): the channel endpoint is rehomed
+    /// onto this enclave's process, the record is re-sealed under *this*
+    /// enclave's park key (charged at `park_seal`), and the session
+    /// enters the parked set under a **fresh id** from this shard's id
+    /// space. The user's next doorbell transparently unparks it into a
+    /// stale tombstone, so resumption runs the full re-establishment —
+    /// fresh channel and data keys negotiated with this shard, a fresh
+    /// context here, and a journal replay. Nothing keyed to the old
+    /// shard survives.
+    ///
+    /// # Errors
+    ///
+    /// [`HixCoreError::Evicted`] if this shard's repeat-offender policy
+    /// already banned the user (migration is no escape hatch either).
+    pub fn adopt_session(
+        &mut self,
+        machine: &mut Machine,
+        migrated: MigratedSession,
+    ) -> Result<SessionId, HixCoreError> {
+        if self.evicted.contains(&migrated.user_pid) {
+            machine.trace().metrics().inc("watchdog.rebuilds_refused");
+            return Err(HixCoreError::Evicted);
+        }
+        let cost = machine.model().park_seal();
+        machine.clock().advance(cost);
+        let id = self.next_session;
+        self.next_session += 1;
+        let mut endpoint = migrated.endpoint;
+        endpoint.rehome(machine, self.pid);
+
+        self.park_seq += 1;
+        let seq = self.park_seq;
+        let mut record = Vec::with_capacity(13);
+        record.extend_from_slice(&migrated.user_pid.0.to_le_bytes());
+        record.extend_from_slice(&migrated.staging_len.to_le_bytes());
+        record.push(u8::from(migrated.stale));
+        let blob = self.park_cipher(machine, id, seq)?.seal(
+            &hix_crypto::ocb::Nonce::from_counter(0),
+            b"hix-park",
+            &record,
+        );
+        self.parked.insert(
+            id,
+            ParkedSession {
+                blob,
+                seq,
+                endpoint,
+                user_pid: migrated.user_pid,
+            },
+        );
+        machine.trace().metrics().inc("enclave.sessions_adopted");
+        machine.trace().emit(
+            machine.clock().now(),
+            cost,
+            EventKind::EnclaveCrypto,
+            format!("migrated session adopted as {id}: record re-sealed to this shard"),
+        );
+        Ok(id)
     }
 
     /// Serves one pending request on `session` (the message-queue wakeup

@@ -20,6 +20,10 @@
 //! * [`multiuser`] — the multi-context scheduler model behind Figures 8
 //!   and 9, scaled to 10,000 tenants by the weighted-fair queue in
 //!   [`sched`] plus admission control and sealed-state parking.
+//! * [`fabric`] — the N-GPU enclave fabric: one [`GpuEnclave`] shard per
+//!   GPU over switched PCIe topologies (§5.6/§7: no sharing, no
+//!   peer-to-peer), with load-aware placement, cross-shard migration of
+//!   parked sessions, and shard-local TDR containment.
 //!
 //! ```no_run
 //! use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
@@ -40,11 +44,13 @@
 
 pub mod attest;
 pub mod channel;
+pub mod fabric;
 pub mod gpu_enclave;
 pub mod multiuser;
 pub mod protocol;
 pub mod runtime;
 pub mod sched;
 
+pub use fabric::{Fabric, FabricOptions, FabricSessionId};
 pub use gpu_enclave::{GpuEnclave, GpuEnclaveOptions, HixCoreError};
 pub use runtime::{CmdId, CmdStatus, HixSession};

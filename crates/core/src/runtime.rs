@@ -260,6 +260,17 @@ impl HixSession {
         self.id
     }
 
+    /// Points this session at the id the adopting shard assigned it
+    /// after a cross-shard migration
+    /// (`GpuEnclave::adopt_session`). Ids are per-shard, so the fabric
+    /// scheduler relays the new one to the runtime out of band; the
+    /// next request then runs the ordinary parked → stale →
+    /// re-establishment path against the new shard (fresh keys, journal
+    /// replay) — nothing else in the session changes here.
+    pub fn rebind(&mut self, id: SessionId) {
+        self.id = id;
+    }
+
     /// The session's key/nonce epoch: 0 at connect, +1 per TDR
     /// re-establishment. Every epoch has its own channel key, data key,
     /// replay windows, and nonce counters — nothing is resumed.

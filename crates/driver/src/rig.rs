@@ -222,6 +222,155 @@ pub fn switched_rig(options: RigOptions) -> Machine {
     machine
 }
 
+/// One GPU slot of a [`fabric_rig`] topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricGpu {
+    /// The GPU's bus/device/function.
+    pub bdf: Bdf,
+    /// Physical address the BIOS programmed into BAR0.
+    pub bar0: PhysAddr,
+    /// Index of the switch this GPU sits behind.
+    pub switch: usize,
+    /// Seed of the GPU's (genuine) BIOS image — each GPU in the fabric
+    /// carries its own, so per-GPU digest pinning is exercised.
+    pub bios_seed: u64,
+}
+
+/// The wiring plan of a [`fabric_rig`] machine: where every GPU and
+/// switch landed. Purely derived from `(n_gpus, switch_fanout)`, so two
+/// rigs built with the same parameters agree bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricTopology {
+    /// Per-GPU slots, in fabric order.
+    pub gpus: Vec<FabricGpu>,
+    /// Upstream-port BDFs of the switches, in switch order.
+    pub switches: Vec<Bdf>,
+}
+
+impl FabricTopology {
+    /// Computes the topology for `n_gpus` GPUs grouped `switch_fanout`
+    /// to a switch, without building a machine. Bus numbers use a fixed
+    /// stride per switch so a GPU's BDF depends only on its index and
+    /// the fanout, never on the population of other groups.
+    pub fn plan(n_gpus: usize, switch_fanout: usize, bios_seed_base: u64) -> FabricTopology {
+        let n_gpus = n_gpus.max(1);
+        let fanout = switch_fanout.max(1);
+        let n_switches = n_gpus.div_ceil(fanout);
+        let mut gpus = Vec::with_capacity(n_gpus);
+        let mut switches = Vec::with_capacity(n_switches);
+        for s in 0..n_switches {
+            switches.push(Bdf::new(1, s as u8, 0));
+        }
+        for i in 0..n_gpus {
+            let s = i / fanout;
+            let j = i % fanout;
+            // Per switch: one internal bus plus one bus per (potential)
+            // GPU slot; bus 1 holds the upstream ports.
+            let internal_bus = 2 + (s * (fanout + 1)) as u8;
+            gpus.push(FabricGpu {
+                bdf: Bdf::new(internal_bus + 1 + j as u8, 0, 0),
+                bar0: PhysAddr::new(0xc000_0000 + (i as u64) * 0x0100_0000),
+                switch: s,
+                bios_seed: bios_seed_base.wrapping_add(i as u64),
+            });
+        }
+        FabricTopology { gpus, switches }
+    }
+}
+
+/// Builds an N-GPU machine for the enclave fabric: GPUs grouped
+/// `switch_fanout` to a PLX-style switch, every switch behind one root
+/// port. Each GPU carries its own BIOS (seed = base seed + index) and a
+/// BIOS-programmed BAR0 at a distinct physical address (registers only,
+/// like [`RigOptions::second_gpu`] — the MMIO hole is sized for one
+/// VRAM aperture). Returns the machine plus the topology plan the
+/// fabric layer verifies paths against. Only the built-in crypto
+/// kernels are installed per GPU; workload kernels in
+/// [`RigOptions::kernels`] are ignored here (they cannot be cloned per
+/// device — fabric traffic drives the transfer/memset built-ins).
+pub fn fabric_rig(
+    options: RigOptions,
+    n_gpus: usize,
+    switch_fanout: usize,
+) -> (Machine, FabricTopology) {
+    let gpu_config = options.gpu.clone();
+    let fanout = switch_fanout.max(1);
+    let topology = FabricTopology::plan(n_gpus, fanout, gpu_config.seed);
+    let mut machine = Machine::new(options.machine);
+    let window = Some(PhysRange::new(
+        hix_platform::mem::layout::MMIO.base,
+        hix_platform::mem::layout::MMIO.len,
+    ));
+    let last_bus = 1 + (topology.switches.len() * (fanout + 1)) as u8;
+
+    let mut port_cfg = ConfigSpace::bridge(0x8086, 0x3420);
+    {
+        let w = port_cfg.bridge_window_mut();
+        w.secondary_bus = 1;
+        w.subordinate_bus = last_bus;
+        w.window = window;
+    }
+    machine
+        .fabric_mut()
+        .add_root_port(PORT_BDF, port_cfg)
+        .expect("fresh fabric");
+
+    for (s, up_bdf) in topology.switches.iter().enumerate() {
+        let internal_bus = 2 + (s * (fanout + 1)) as u8;
+        let mut up_cfg = ConfigSpace::bridge(0x10b5, 0x8747);
+        {
+            let w = up_cfg.bridge_window_mut();
+            w.primary_bus = 1;
+            w.secondary_bus = internal_bus;
+            w.subordinate_bus = internal_bus + fanout as u8;
+            w.window = window;
+        }
+        machine
+            .fabric_mut()
+            .add_switch_port(*up_bdf, up_cfg)
+            .expect("upstream port");
+        for j in 0..fanout {
+            let gpu_bus = internal_bus + 1 + j as u8;
+            let mut down_cfg = ConfigSpace::bridge(0x10b5, 0x8747);
+            {
+                let w = down_cfg.bridge_window_mut();
+                w.primary_bus = internal_bus;
+                w.secondary_bus = gpu_bus;
+                w.subordinate_bus = gpu_bus;
+                w.window = window;
+            }
+            machine
+                .fabric_mut()
+                .add_switch_port(Bdf::new(internal_bus, j as u8, 0), down_cfg)
+                .expect("downstream port");
+        }
+    }
+
+    for slot in &topology.gpus {
+        let mut gpu = GpuDevice::new(
+            GpuConfig {
+                seed: slot.bios_seed,
+                ..gpu_config.clone()
+            },
+            machine.clock().clone(),
+            machine.model().clone(),
+            machine.trace().clone(),
+        );
+        hix_gpu::crypto_kernels::install(&mut gpu);
+        machine
+            .fabric_mut()
+            .add_endpoint(slot.bdf, Box::new(gpu), Provenance::Hardware)
+            .expect("fresh slot");
+        machine
+            .config_write(slot.bdf, offsets::BAR0, slot.bar0.value() as u32)
+            .unwrap();
+        machine.config_write(slot.bdf, offsets::COMMAND, 0b10).unwrap();
+    }
+
+    machine.iommu_mut().set_passthrough(true);
+    (machine, topology)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +397,39 @@ mod tests {
             .mmio_read(BAR0_PA.offset(bar0::ID), &mut buf)
             .unwrap();
         assert_eq!(u64::from_le_bytes(buf), GPU_MAGIC);
+    }
+
+    #[test]
+    fn fabric_rig_routes_every_gpu() {
+        let (mut machine, topo) = fabric_rig(RigOptions::default(), 4, 2);
+        assert_eq!(topo.gpus.len(), 4);
+        assert_eq!(topo.switches.len(), 2);
+        for (i, slot) in topo.gpus.iter().enumerate() {
+            let (bdf, bar, off) = machine.fabric().route_mem(slot.bar0).unwrap();
+            assert_eq!(bdf, slot.bdf, "gpu {i} BAR0 routes to its own slot");
+            assert_eq!(bar, BarIndex(0));
+            assert_eq!(off, 0);
+            let mut buf = [0u8; 8];
+            machine
+                .fabric_mut()
+                .mmio_read(slot.bar0.offset(bar0::ID), &mut buf)
+                .unwrap();
+            assert_eq!(u64::from_le_bytes(buf), GPU_MAGIC, "gpu {i} answers");
+            assert_eq!(slot.switch, i / 2);
+        }
+        // Distinct BIOS per GPU: expansion ROMs must differ pairwise.
+        let roms: Vec<Vec<u8>> = topo
+            .gpus
+            .iter()
+            .map(|g| machine.fabric().read_expansion_rom(g.bdf, 0, 256).unwrap())
+            .collect();
+        for a in 0..roms.len() {
+            for b in a + 1..roms.len() {
+                assert_ne!(roms[a], roms[b], "gpu {a} and {b} share a BIOS");
+            }
+        }
+        // The plan is pure: recomputing it matches what the rig built.
+        assert_eq!(topo, FabricTopology::plan(4, 2, GpuConfig::default().seed));
     }
 
     #[test]

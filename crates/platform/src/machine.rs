@@ -173,6 +173,17 @@ impl Machine {
         self.fault_plan.clone()
     }
 
+    /// Installs (or clears, with `None`) a fault plan on *one* endpoint
+    /// device, leaving the machine-level channel plan and every other
+    /// device untouched. This is how the fabric profiles localize a
+    /// device-fault storm to a single GPU shard — or correlate one
+    /// across the shards of a switch — while its peers run clean.
+    pub fn set_device_fault_plan(&mut self, bdf: Bdf, plan: Option<FaultPlan>) {
+        if let Some(dev) = self.fabric.device_mut(bdf) {
+            dev.install_fault_plan(plan);
+        }
+    }
+
     // ---------------------------------------------------------- processes
 
     /// Creates a process with an empty address space.

@@ -2,15 +2,16 @@
 //! the resident GPU enclave (§4.5 — one GPU context per tenant, unlike
 //! pre-Volta MPS which merges everyone into a single address space).
 //!
-//! Shows: per-tenant isolation on the device, scrub-on-free, and the
-//! Figure 8/9 multi-user timing model.
+//! Shows: per-tenant isolation on the device via the *batched* command
+//! queue (submit + one flush per tenant), doorbell-wake amortization,
+//! scrub-on-free, and the Figure 8/9 multi-user timing model.
 //!
 //! ```sh
 //! cargo run -p hix-bench --example multi_tenant
 //! ```
 
 use hix_core::multiuser::{run_multiuser, Mode};
-use hix_core::{GpuEnclave, GpuEnclaveOptions, HixSession};
+use hix_core::{CmdStatus, GpuEnclave, GpuEnclaveOptions, HixSession};
 use hix_driver::rig::{standard_rig, RigOptions};
 use hix_sim::{CostModel, Payload};
 use hix_workloads::rodinia::hotspot::Hotspot;
@@ -32,25 +33,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(enclave.session_count(), 3);
 
-    // Each tenant writes its own pattern; every readback must see only
-    // its own bytes (device page tables isolate the contexts).
+    // Each tenant writes its own pattern through the batched command
+    // queue: four writes and a barrier ride ONE submission frame (one
+    // doorbell, one wake) instead of five request/response roundtrips.
     let mut buffers = Vec::new();
-    for (i, session) in tenants.iter_mut().enumerate() {
-        let dev = session.malloc(&mut machine, &mut enclave, 4096)?;
-        let fill = vec![0x10 * (i as u8 + 1); 4096];
-        session.memcpy_htod(&mut machine, &mut enclave, dev, &Payload::from_bytes(fill))?;
-        buffers.push(dev);
+    let mut submitted = 0u64;
+    // Allocations stay synchronous — each tenant needs its address to
+    // build the rest of the batch against.
+    for session in tenants.iter_mut() {
+        buffers.push(session.malloc(&mut machine, &mut enclave, 4 * 4096)?);
     }
+    let wakes_before = machine.trace().metrics().counter("cmdq.wakes");
     for (i, session) in tenants.iter_mut().enumerate() {
-        let back = session.memcpy_dtoh(&mut machine, &mut enclave, buffers[i], 4096)?;
+        let dev = buffers[i];
+        let fill = vec![0x10 * (i as u8 + 1); 4096];
+        // One staged write plus three device-side fills of the same
+        // pattern — five commands, one frame, one doorbell.
+        session.submit_htod(&mut machine, &mut enclave, dev, &Payload::from_bytes(fill))?;
+        for chunk in 1..4u64 {
+            session.submit_memset(
+                &mut machine,
+                &mut enclave,
+                dev.offset(chunk * 4096),
+                4096,
+                0x10 * (i as u8 + 1),
+            )?;
+        }
+        session.submit_sync(&mut machine, &mut enclave)?;
+        submitted += 5;
+        session.flush(&mut machine, &mut enclave)?;
+        for (id, status) in session.take_completions() {
+            assert!(matches!(status, CmdStatus::Ok), "command {id:?} failed");
+        }
+    }
+    let wakes = machine.trace().metrics().counter("cmdq.wakes") - wakes_before;
+    for (i, session) in tenants.iter_mut().enumerate() {
+        let back = session.memcpy_dtoh(&mut machine, &mut enclave, buffers[i], 4 * 4096)?;
         assert!(back.bytes().iter().all(|&b| b == 0x10 * (i as u8 + 1)));
     }
     println!("cross-tenant isolation verified: each context sees only its own data");
 
+    // Doorbell amortization: the queue woke the GPU enclave once per
+    // flushed frame, not once per command.
+    println!(
+        "batched submission: {submitted} commands in {wakes} wakes \
+         ({:.1} commands per doorbell)",
+        submitted as f64 / wakes.max(1) as f64
+    );
+    assert!(wakes < submitted, "batching must amortize doorbell wakes");
+
     // A tenant frees memory; the trusted runtime scrubs it, so the next
-    // tenant allocation can never observe residue (§4.5).
+    // tenant allocation can never observe residue (§4.5). Frees ride the
+    // same queue.
     let alice = &mut tenants[0];
-    alice.free(&mut machine, &mut enclave, buffers[0])?;
+    alice.submit_free(&mut machine, &mut enclave, buffers[0])?;
+    alice.flush(&mut machine, &mut enclave)?;
+    alice.take_completions();
     println!("alice's buffer freed and scrubbed on the GPU");
 
     for session in tenants {

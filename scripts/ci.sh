@@ -71,6 +71,21 @@ cmp target/perf-a.json target/perf-b.json
 cargo run -q --release --offline -p hix-bench --bin perf_report -- --check target/perf-a.json
 cargo run -q --release --offline -p hix-bench --bin perf_report -- --check BENCH_perf.json
 
+# Fabric smoke: the multi-GPU sharded-enclave sweep at 1 and 2 GPUs x
+# {none, shard-storm, switch-correlated} fault profiles x 3 seeds. The
+# bin self-checks shard-local reset containment (blast radius 0 outside
+# the resetting shard), byte-identical tenant service across all seeds,
+# cross-shard migration of parked sessions on every faulted multi-GPU
+# run, model-level peer bit-identity during a reset, and double-run
+# determinism; here we additionally pin cross-invocation stability and
+# --check both the fresh smoke JSON and the committed full-sweep
+# BENCH_fabric.json.
+cargo run -q --release --offline -p hix-bench --bin fabric_report -- --smoke target/fabric-a.json
+cargo run -q --release --offline -p hix-bench --bin fabric_report -- --smoke target/fabric-b.json
+cmp target/fabric-a.json target/fabric-b.json
+cargo run -q --release --offline -p hix-bench --bin fabric_report -- --check target/fabric-a.json
+cargo run -q --release --offline -p hix-bench --bin fabric_report -- --check BENCH_fabric.json
+
 # Crypto-plane smoke: run the wall-clock crypto bench once (emitting to
 # target/, never overwriting the committed ledger — wall-clock numbers
 # are host-specific) and schema-validate both the fresh emission and the

@@ -116,14 +116,76 @@ fn shared_root_port_stays_locked_until_both_release() {
 }
 
 #[test]
+fn switched_shared_bridges_stay_locked_until_the_last_shard_releases() {
+    use hix_driver::rig::fabric_rig;
+    use hix_pcie::addr::Bdf;
+    use hix_pcie::config::offsets;
+    // Two GPUs behind ONE switch: the root port AND the switch upstream
+    // port sit on both routing paths; each GPU's downstream port sits
+    // on exactly one. Release must be per-path.
+    let (mut m, topo) = fabric_rig(RigOptions::default(), 2, 2);
+    assert_eq!(topo.switches.len(), 1, "one switch carries both GPUs");
+    let upstream = topo.switches[0];
+    let root_port = Bdf::new(0, 1, 0);
+    // Downstream ports live on the switch's internal bus, one function
+    // slot per fanout position.
+    let down = |i: u8| Bdf::new(upstream.bus + 1, i, 0);
+    let mk = |i: usize| GpuEnclaveOptions {
+        bdf: topo.gpus[i].bdf,
+        expected_bios: Some(sha256::digest(&build_bios(topo.gpus[i].bios_seed))),
+        seed: format!("switched-{i}").into_bytes(),
+        ..Default::default()
+    };
+    let enclave1 = GpuEnclave::launch(&mut m, mk(0)).unwrap();
+    let enclave2 = GpuEnclave::launch(&mut m, mk(1)).unwrap();
+    for bdf in [root_port, upstream, down(0), down(1)] {
+        assert!(
+            m.config_write(bdf, offsets::MEMORY_WINDOW, 0).is_err(),
+            "{bdf:?} must be locked while both shards hold the path"
+        );
+    }
+    // Shard 0 releases: its OWN downstream port unlocks, but every
+    // bridge still on shard 1's path stays locked.
+    enclave1.shutdown(&mut m).unwrap();
+    m.config_write(down(0), offsets::MEMORY_WINDOW, 0xfff0_0000)
+        .unwrap();
+    for bdf in [root_port, upstream, down(1)] {
+        assert!(
+            m.config_write(bdf, offsets::MEMORY_WINDOW, 0).is_err(),
+            "{bdf:?} is on the surviving shard's path and must stay locked"
+        );
+    }
+    // The surviving shard's MMIO path still verifies end to end.
+    assert!(enclave2.verify_path(&m));
+    // Last shard out unlocks the shared prefix.
+    enclave2.shutdown(&mut m).unwrap();
+    for bdf in [root_port, upstream, down(1)] {
+        m.config_write(bdf, offsets::MEMORY_WINDOW, 0xfff0_0000)
+            .unwrap();
+    }
+}
+
+#[test]
 fn termination_notice_reaches_user_sessions() {
+    // Both GPUs, one enclave each, one session each: a termination
+    // notice is scoped to the terminating enclave's own sessions.
     let mut m = two_gpu_rig();
-    let mut enclave = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
-    let s = HixSession::connect(&mut m, &mut enclave).unwrap();
-    assert!(!s.enclave_terminated(&mut m).unwrap());
-    enclave.shutdown(&mut m).unwrap();
+    let mut enclave1 = GpuEnclave::launch(&mut m, GpuEnclaveOptions::default()).unwrap();
+    let mut enclave2 = GpuEnclave::launch(&mut m, gpu2_options()).unwrap();
+    let s1 = HixSession::connect(&mut m, &mut enclave1).unwrap();
+    let s2 = HixSession::connect_with(&mut m, &mut enclave2, 1 << 20, b"u2").unwrap();
+    assert!(!s1.enclave_terminated(&mut m).unwrap());
+    assert!(!s2.enclave_terminated(&mut m).unwrap());
+    // GPU2's enclave goes down first: only ITS session is notified.
+    enclave2.shutdown(&mut m).unwrap();
     assert!(
-        s.enclave_terminated(&mut m).unwrap(),
+        s2.enclave_terminated(&mut m).unwrap(),
         "§4.2.3: user enclaves are notified of graceful termination"
     );
+    assert!(
+        !s1.enclave_terminated(&mut m).unwrap(),
+        "a peer GPU enclave's termination must not leak into GPU1's sessions"
+    );
+    enclave1.shutdown(&mut m).unwrap();
+    assert!(s1.enclave_terminated(&mut m).unwrap());
 }

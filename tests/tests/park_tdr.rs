@@ -126,3 +126,69 @@ fn parked_session_survives_a_secure_reset_and_recovers_via_replay() {
         .expect("offender dtoh");
     assert_eq!(off_back.bytes(), &[0x5C; 8192][..]);
 }
+
+#[test]
+fn parked_session_unparks_on_a_different_shard_with_fresh_keys() {
+    use hix_core::fabric::{Fabric, FabricOptions};
+    use hix_driver::rig::fabric_rig;
+
+    // Two single-GPU shards behind one switch; the session parks on
+    // shard 0 and is unparked on shard 1 — a different GPU enclave with
+    // its own sealing keys, contexts, and staging arena.
+    let (mut m, topo) = fabric_rig(RigOptions::default(), 2, 2);
+    let mut fabric = Fabric::launch(&mut m, &topo, FabricOptions::default()).expect("fabric");
+    let (sid, mut mover) = fabric.connect(&mut m, 1 << 20, b"mover").expect("connect");
+    let from = fabric.shard_of(sid).expect("placed");
+    let to = 1 - from;
+
+    let plant = mover
+        .malloc(&mut m, fabric.shard_mut(from), 4096)
+        .expect("malloc");
+    let secret: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(29) ^ 0x5D) as u8).collect();
+    mover
+        .memcpy_htod(&mut m, fabric.shard_mut(from), plant, &Payload::from_bytes(secret.clone()))
+        .expect("plant");
+    assert_eq!(mover.epoch(), 0, "no recovery has happened yet");
+
+    // Park on the source shard: the context dies, staging is freed with
+    // scrub-on-free, and only the sealed 13-byte record remains.
+    let old_id = mover.id();
+    fabric.park(&mut m, sid).expect("park");
+    assert!(fabric.shard(from).is_parked(old_id));
+
+    // Migrate: the source unseals and exports, the target re-seals the
+    // record under ITS park key and adopts the endpoint.
+    fabric
+        .migrate_session(&mut m, sid, &mut mover, to)
+        .expect("cross-shard migration");
+    assert_eq!(fabric.shard_of(sid), Some(to));
+    // Old shard keeps NOTHING of the session: no resident context, no
+    // parked record (its staging was scrubbed at park time).
+    assert!(!fabric.shard(from).is_parked(old_id));
+    assert_eq!(fabric.shard(from).session_count(), 0);
+    assert_eq!(fabric.shard(from).parked_count(), 0);
+    assert_eq!(m.trace().metrics().counter("enclave.sessions_exported"), 1);
+    assert_eq!(m.trace().metrics().counter("enclave.sessions_adopted"), 1);
+    // The migrant sits parked on the target shard until re-admission
+    // (session ids are per-enclave namespaces; the adopted id comes
+    // from the TARGET's id space).
+    assert!(fabric.shard(to).is_parked(mover.id()));
+
+    // Re-admission on the new shard runs the full re-establishment:
+    // attestation against the new enclave, fresh keys, journal replay.
+    let reestablished = mover
+        .resume(&mut m, fabric.shard_mut(to))
+        .expect("resume on the adopting shard");
+    assert!(reestablished, "unpark on a different shard re-establishes");
+    assert!(!fabric.shard(to).is_parked(mover.id()));
+    assert!(mover.epoch() > 0, "the adopting shard must mint fresh keys");
+    assert!(mover.journal_len() > 0, "the replay journal drove the rebuild");
+    let back = mover
+        .memcpy_dtoh(&mut m, fabric.shard_mut(to), plant, 4096)
+        .expect("dtoh on the adopting shard");
+    assert_eq!(
+        back.bytes(),
+        &secret[..],
+        "journal replay must reconstruct the migrated session byte-identically"
+    );
+}
